@@ -1,0 +1,248 @@
+package netsamp_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md section 4 for the experiment index), plus
+// ablation benchmarks for the design choices the solver makes
+// (preconditioning, Polak-Ribière blending, Newton line search, the
+// effective-rate approximation (7) versus the exact model (1)).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"sync"
+	"testing"
+
+	"netsamp/internal/baseline"
+	"netsamp/internal/core"
+	"netsamp/internal/eval"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+)
+
+var (
+	scenarioOnce sync.Once
+	scenarioVal  *geant.Scenario
+)
+
+// benchScenario returns a cached GEANT scenario (construction cost is
+// excluded from every benchmark).
+func benchScenario(b *testing.B) *geant.Scenario {
+	b.Helper()
+	scenarioOnce.Do(func() { scenarioVal = geant.MustBuild(1) })
+	return scenarioVal
+}
+
+func benchProblem(b *testing.B, s *geant.Scenario, exact bool) *core.Problem {
+	b.Helper()
+	prob, _, err := plan.Build(plan.Input{
+		Matrix:       s.Matrix,
+		Loads:        s.Loads,
+		Candidates:   s.MonitorLinks,
+		InvMeanSizes: s.UtilityParams(eval.Interval),
+		Budget:       core.BudgetPerInterval(100000, eval.Interval),
+		Exact:        exact,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkFigure1Utility regenerates the Figure 1 utility curves.
+func BenchmarkFigure1Utility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.Figure1(101)
+		if len(r.Points) != 101 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkTable1Optimization solves the Table I instance (the JANET
+// task at θ = 100,000 packets per 5-minute interval).
+func BenchmarkTable1Optimization(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(prob, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Stats.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkTable1WithSimulation regenerates the full Table I including
+// the 20 sampling experiments per OD pair.
+func BenchmarkTable1WithSimulation(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table1(s, 100000, 20, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Sweep regenerates a Figure 2 sweep (optimal vs
+// UK-links-only across the θ range, 5 sampling trials per point).
+func BenchmarkFigure2Sweep(b *testing.B) {
+	s := benchScenario(b)
+	thetas := eval.DefaultThetas()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure2(s, thetas, 5, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergenceStudy runs the Section IV-D randomized-instance
+// study (20 instances per iteration).
+func BenchmarkConvergenceStudy(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ConvergenceStudy(s, 20, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessLinkComparison runs the Section V-C capacity
+// comparison.
+func BenchmarkAccessLinkComparison(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AccessLinkComparison(s, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxMinExtension runs the max-min variant (the alternative
+// objective the paper defers to future work).
+func BenchmarkMaxMinExtension(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveMaxMin(prob, core.MaxMinOptions{Rounds: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoPhaseGreedyBaseline runs the decoupled placement-then-
+// rates heuristic for comparison with the joint optimization.
+func BenchmarkTwoPhaseGreedyBaseline(b *testing.B) {
+	s := benchScenario(b)
+	budget := core.BudgetPerInterval(100000, eval.Interval)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.TwoPhaseGreedy(s.Matrix, s.Loads, s.MonitorLinks, s.Rates, budget, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: solver design choices --------------------------------
+
+func benchAblation(b *testing.B, opt core.Options) {
+	prob := benchProblem(b, benchScenario(b), false)
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(prob, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += sol.Stats.Iterations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iterations/op")
+}
+
+// BenchmarkAblationFullSolver is the reference configuration.
+func BenchmarkAblationFullSolver(b *testing.B) {
+	benchAblation(b, core.Options{})
+}
+
+// BenchmarkAblationNoPreconditioner disables the 1/U² metric (the
+// paper's plain gradient projection; zig-zags on skewed loads).
+func BenchmarkAblationNoPreconditioner(b *testing.B) {
+	benchAblation(b, core.Options{DisablePreconditioner: true})
+}
+
+// BenchmarkAblationNoPolakRibiere disables conjugate blending.
+func BenchmarkAblationNoPolakRibiere(b *testing.B) {
+	benchAblation(b, core.Options{DisablePolakRibiere: true})
+}
+
+// BenchmarkAblationBisectionLineSearch replaces Newton's method with
+// bisection in the one-dimensional search.
+func BenchmarkAblationBisectionLineSearch(b *testing.B) {
+	benchAblation(b, core.Options{DisableNewton: true})
+}
+
+// BenchmarkAblationExactRateModel solves with the exact effective-rate
+// model (1) instead of approximation (7).
+func BenchmarkAblationExactRateModel(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(prob, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicStudy runs the static-vs-reoptimized study (6
+// intervals per iteration).
+func BenchmarkDynamicStudy(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.DynamicStudy(s, 6, 100000, 21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectionStudy runs the anomaly-detection placement.
+func BenchmarkDetectionStudy(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.DetectionStudy(s, 100000, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxMinExact runs the certified LP-bisection max-min solver
+// on the Table I instance.
+func BenchmarkMaxMinExact(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveMaxMinExact(prob, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTMStudy runs the traffic-matrix estimation comparison
+// (gravity / tomogravity / sampled).
+func BenchmarkTMStudy(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.TMStudy(s, 100000, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

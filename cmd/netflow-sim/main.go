@@ -1,0 +1,310 @@
+// Command netflow-sim deploys the optimizer's plan for the paper's
+// JANET task on the NetFlow substrate and replays one full measurement
+// interval of task traffic through it, packet by packet:
+//
+//	optimizer plan → per-link sampled flow tables → UDP export →
+//	collector → binning + renormalization → OD size estimates,
+//
+// then reports the per-pair estimation accuracy, validating the sampling
+// plan on the deployed pipeline rather than in closed form.
+//
+// Background (cross) traffic enters the budget through the link loads
+// the optimizer sees; it is not replayed packet-by-packet here because
+// only task packets contribute to the OD estimates (the collector's
+// classifier drops everything else).
+//
+// Usage:
+//
+//	netflow-sim [-theta 100000] [-seed 1] [-scale 0.1]
+//
+// -scale trades fidelity for speed by scaling all traffic and θ
+// together; accuracies are then those of the scaled system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netsamp"
+	"netsamp/internal/core"
+	"netsamp/internal/eval"
+	"netsamp/internal/netflow"
+	"netsamp/internal/packet"
+	"netsamp/internal/plan"
+	"netsamp/internal/prefix"
+	"netsamp/internal/rng"
+	"netsamp/internal/sampling"
+	"netsamp/internal/topology"
+	"netsamp/internal/traffic"
+)
+
+func main() {
+	theta := flag.Float64("theta", 100000, "budget θ in packets per 5-minute interval")
+	seed := flag.Uint64("seed", 1, "scenario and sampling seed")
+	scale := flag.Float64("scale", 1, "traffic/θ scale factor (<1 runs faster but with proportionally less accurate estimates)")
+	archive := flag.String("archive", "", "write collected flow records to this archive file (netflow.RecordWriter format)")
+	flag.Parse()
+	if err := run(*theta, *seed, *scale, *archive); err != nil {
+		fmt.Fprintln(os.Stderr, "netflow-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(theta float64, seed uint64, scale float64, archive string) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("scale %v out of (0, 1]", scale)
+	}
+	const interval = uint32(eval.Interval)
+	s, err := netsamp.BuildGEANT(seed)
+	if err != nil {
+		return err
+	}
+	// Scale the system uniformly: OD rates, link loads and θ.
+	odRates := make([]float64, len(s.Rates))
+	inv := make([]float64, len(s.Rates))
+	for k, r := range s.Rates {
+		odRates[k] = r * scale
+		inv[k] = 1 / (odRates[k] * float64(interval))
+	}
+	loads := make([]float64, len(s.Loads))
+	for i, u := range s.Loads {
+		loads[i] = u * scale
+	}
+	theta *= scale
+
+	prob, _, err := plan.Build(plan.Input{
+		Matrix:       s.Matrix,
+		Loads:        loads,
+		Candidates:   s.MonitorLinks,
+		InvMeanSizes: inv,
+		Budget:       core.BudgetPerInterval(theta, float64(interval)),
+	})
+	if err != nil {
+		return err
+	}
+	sol, err := core.Solve(prob, core.Options{})
+	if err != nil {
+		return err
+	}
+	planRates := plan.RatesByLink(sol, s.MonitorLinks)
+	fmt.Printf("plan: %d active monitors, θ = %.0f pkts/interval (scale %.2f), converged=%v\n",
+		len(planRates), theta, scale, sol.Stats.Converged)
+
+	collector, err := netflow.NewCollector("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	master := rng.New(seed ^ 0xfeed)
+	type monitor struct {
+		link  topology.LinkID
+		table *netflow.FlowTable
+		exp   *netflow.Exporter
+	}
+	var monitors []monitor
+	id := uint16(1)
+	for _, lid := range s.MonitorLinks {
+		p := planRates[lid]
+		if p == 0 {
+			continue
+		}
+		cfg := netflow.DefaultConfig()
+		cfg.SamplingRate = p
+		exp, err := netflow.NewExporter(collector.Addr(), uint32(id))
+		if err != nil {
+			return err
+		}
+		monitors = append(monitors, monitor{lid, netflow.NewFlowTable(id, cfg, master.Split()), exp})
+		id++
+	}
+
+	// Each destination PoP owns a /24 (10.0.<k>.0/24); flow records are
+	// classified back to OD pairs by longest-prefix match on the
+	// destination address, the paper's egress-resolution step.
+	var egress prefix.Table
+	for k := range s.Pairs {
+		egress.MustInsert(packet.AddrFrom4(10, 0, byte(k), 0), 24, int32(k))
+	}
+	est, err := netflow.NewEstimator(interval, sol.Rho, netflow.PrefixClassifier(&egress))
+	if err != nil {
+		return err
+	}
+	var store *netflow.RecordWriter
+	var storeFile *os.File
+	if archive != "" {
+		storeFile, err = os.Create(archive)
+		if err != nil {
+			return err
+		}
+		store, err = netflow.NewRecordWriter(storeFile)
+		if err != nil {
+			return err
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for batch := range collector.Batches() {
+			est.AddBatch(batch)
+			if store != nil {
+				for _, rec := range batch.Records {
+					if err := store.Write(rec); err != nil {
+						fmt.Fprintln(os.Stderr, "netflow-sim: archive:", err)
+						return
+					}
+				}
+			}
+		}
+		close(done)
+	}()
+
+	// Replay one interval of task traffic in time-major order: flows
+	// arrive as a Poisson process, spread their packets over their
+	// lifetime, and the flow tables run their per-second expiry sweep —
+	// the way a router actually behaves.
+	start := time.Now()
+	gen := rng.New(seed ^ 0xbeef)
+	truth := make([]int64, len(s.Pairs))
+	type liveFlow struct {
+		key     packet.FiveTuple
+		onPath  []monitor
+		perSec  int64 // packets to emit per second while alive
+		left    int64
+		lastSec uint32 // final second (emits the remainder)
+	}
+	// Bucket flow arrivals by second.
+	arrivals := make([][]*liveFlow, interval)
+	for k := range s.Pairs {
+		fs := traffic.GenerateTimedFlows(odRates[k], float64(interval), s.SizeDists[k], 30, gen)
+		truth[k] = fs.Total
+		var onPath []monitor
+		for _, m := range monitors {
+			if s.Matrix.Traverses(k, m.link) {
+				onPath = append(onPath, m)
+			}
+		}
+		if len(onPath) == 0 {
+			continue
+		}
+		for fi, f := range fs.Flows {
+			// Destination host drawn inside the PoP's /24.
+			dst := packet.AddrFrom4(10, 0, byte(k), byte(1+fi%250))
+			sec := uint32(f.Start)
+			lastSec := uint32(f.Start + f.Duration)
+			if lastSec >= interval {
+				lastSec = interval - 1
+			}
+			life := int64(lastSec-sec) + 1
+			lf := &liveFlow{
+				key: packet.FiveTuple{
+					Src:     packet.AddrFrom4(192, 168, byte(fi>>8), byte(fi)),
+					Dst:     dst,
+					SrcPort: uint16(1024 + fi%50000),
+					DstPort: 443,
+					Proto:   packet.ProtoTCP,
+				},
+				onPath:  onPath,
+				perSec:  f.Size / life,
+				left:    f.Size,
+				lastSec: lastSec,
+			}
+			arrivals[sec] = append(arrivals[sec], lf)
+		}
+	}
+	var live []*liveFlow
+	for now := uint32(0); now < interval; now++ {
+		live = append(live, arrivals[now]...)
+		keep := live[:0]
+		for _, lf := range live {
+			emit := lf.perSec
+			if now >= lf.lastSec {
+				emit = lf.left // final second: flush the remainder
+			}
+			if emit > lf.left {
+				emit = lf.left
+			}
+			for j := int64(0); j < emit; j++ {
+				for _, m := range lf.onPath {
+					if _, ev := m.table.Observe(lf.key, 1500, now); ev != nil {
+						if err := m.exp.Export(ev); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			lf.left -= emit
+			if lf.left > 0 {
+				keep = append(keep, lf)
+			}
+		}
+		live = keep
+		// Per-second expiry sweep on every monitor (router behaviour).
+		for _, m := range monitors {
+			if recs := m.table.Expire(now); len(recs) > 0 {
+				if err := m.exp.Export(recs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var expected, sampledTotal uint64
+	for _, m := range monitors {
+		if err := m.exp.Export(m.table.Flush()); err != nil {
+			return err
+		}
+		if err := m.exp.Close(); err != nil {
+			return err
+		}
+		st := m.table.Stats()
+		expected += st.ExpiredFlows + st.EvictedFlows
+		sampledTotal += st.SampledPackets
+	}
+	// Drain the loopback: wait until every record arrived or the intake
+	// has been quiet for a while (sequence gaps report true loss below).
+	deadline := time.Now().Add(10 * time.Second)
+	last, lastChange := uint64(0), time.Now()
+	for time.Now().Before(deadline) {
+		got := collector.Stats().Records
+		if got >= expected {
+			break
+		}
+		if got != last {
+			last, lastChange = got, time.Now()
+		} else if time.Since(lastChange) > 500*time.Millisecond {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	collector.Close()
+	<-done
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return err
+		}
+		if err := storeFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("archived %d records to %s\n", store.Count(), archive)
+	}
+	cs := collector.Stats()
+	fmt.Printf("replayed interval in %v; sampled %d task packets (θ=%.0f also covers cross traffic, not replayed); collector: %d records, %d lost\n\n",
+		time.Since(start).Round(time.Millisecond), sampledTotal, theta, cs.Records, cs.LostDatagrams)
+
+	bins := est.Estimates()
+	if len(bins) == 0 {
+		return fmt.Errorf("no estimates produced")
+	}
+	bin := bins[0]
+	fmt.Printf("%-12s %12s %12s %10s %10s\n", "OD pair", "actual pkts", "estimated", "accuracy", "rho")
+	worst := 1.0
+	for k := range s.Pairs {
+		acc := sampling.Accuracy(bin.Estimate[k], float64(truth[k]))
+		if acc < worst {
+			worst = acc
+		}
+		fmt.Printf("%-12s %12d %12.0f %10.4f %10.6f\n",
+			s.Pairs[k].Name, truth[k], bin.Estimate[k], acc, sol.Rho[k])
+	}
+	fmt.Printf("\nworst-pair accuracy: %.4f\n", worst)
+	return nil
+}

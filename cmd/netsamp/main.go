@@ -1,0 +1,494 @@
+// Command netsamp regenerates the paper's evaluation on the synthetic
+// GEANT scenario.
+//
+// Usage:
+//
+//	netsamp figure1  [-points N]
+//	netsamp table1   [-theta N] [-trials N] [-seed N] [-csv] [-abilene]
+//	netsamp figure2  [-trials N] [-seed N] [-csv] [-ext]
+//	netsamp convergence [-runs N] [-seed N] [-nopre]
+//	netsamp accesslink  [-theta N]
+//	netsamp maxmin   [-theta N]
+//	netsamp detect   [-theta N] [-size N]
+//	netsamp tm       [-theta N] [-trials N]
+//	netsamp dynamic  [-intervals N] [-theta N]
+//	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
+//	netsamp topo
+//	netsamp all
+//
+// Every experiment is deterministic for a given seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netsamp/internal/core"
+	"netsamp/internal/eval"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+	"netsamp/internal/spec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "figure1":
+		err = cmdFigure1(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "figure2":
+		err = cmdFigure2(args)
+	case "convergence":
+		err = cmdConvergence(args)
+	case "accesslink":
+		err = cmdAccessLink(args)
+	case "maxmin":
+		err = cmdMaxMin(args)
+	case "detect":
+		err = cmdDetect(args)
+	case "tm":
+		err = cmdTM(args)
+	case "dynamic":
+		err = cmdDynamic(args)
+	case "optimize":
+		err = cmdOptimize(args)
+	case "report":
+		err = cmdReport(args)
+	case "export-spec":
+		err = cmdExportSpec(args)
+	case "topo":
+		err = cmdTopo(args)
+	case "all":
+		err = cmdAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "netsamp: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsamp %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `netsamp — optimal network-wide sampling (CoNEXT 2006 reproduction)
+
+commands:
+  figure1      utility function M(ρ) for two mean OD sizes (paper Fig. 1)
+  table1       optimal sampling plan for the JANET task (paper Table I)
+  figure2      accuracy vs capacity θ, optimal vs UK-links-only (paper Fig. 2)
+  convergence  solver statistics over randomized instances (paper §IV-D)
+  accesslink   capacity cost of access-link-only monitoring (paper §V-C)
+  maxmin       max-min variant of the JANET task (paper's future work)
+  detect       anomaly-detection placement (detection-probability utility)
+  tm           traffic-matrix estimation: SNMP counters vs optimized sampling
+  dynamic      static vs re-optimized plans under traffic/routing dynamics
+  optimize     solve a user-provided scenario file (-f network.netsamp)
+  report       run every experiment and emit a markdown report
+  export-spec  dump a built-in scenario as an editable .netsamp file
+  topo         emit the synthetic GEANT topology in DOT format
+  all          run every experiment in sequence`)
+}
+
+func scenarioFlags(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 1, "scenario seed (background traffic jitter)")
+}
+
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	points := fs.Int("points", 41, "number of abscissa points")
+	fs.Parse(args)
+	return eval.RenderFigure1(os.Stdout, eval.Figure1(*points))
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget θ in packets per 5-minute interval")
+	trials := fs.Int("trials", 20, "sampling experiments per OD pair")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	abilene := fs.Bool("abilene", false, "use the Abilene backbone instead of GEANT")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	build := geant.Build
+	if *abilene {
+		build = geant.BuildAbilene
+	}
+	s, err := build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.Table1(s, *theta, *trials, *seed+1000)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		header, rows := eval.Table1CSV(res)
+		return eval.WriteCSV(os.Stdout, header, rows)
+	}
+	return eval.RenderTable1(os.Stdout, res)
+}
+
+func cmdFigure2(args []string) error {
+	fs := flag.NewFlagSet("figure2", flag.ExitOnError)
+	trials := fs.Int("trials", 20, "sampling experiments per OD pair per θ")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	ext := fs.Bool("ext", false, "add uniform and two-phase-greedy baseline series")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	if *ext {
+		pts, err := eval.Figure2Extended(s, eval.DefaultThetas(), *trials, *seed+2000)
+		if err != nil {
+			return err
+		}
+		return eval.RenderFigure2Extended(os.Stdout, pts)
+	}
+	points, err := eval.Figure2(s, eval.DefaultThetas(), *trials, *seed+2000)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		header, rows := eval.Figure2CSV(points)
+		return eval.WriteCSV(os.Stdout, header, rows)
+	}
+	return eval.RenderFigure2(os.Stdout, points)
+}
+
+func cmdConvergence(args []string) error {
+	fs := flag.NewFlagSet("convergence", flag.ExitOnError)
+	runs := fs.Int("runs", 200, "number of randomized solver runs (paper: 200)")
+	nopre := fs.Bool("nopre", false, "disable the preconditioner (the paper's plain method)")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.ConvergenceStudyWithOptions(s, *runs, *seed+3000,
+		core.Options{DisablePreconditioner: *nopre})
+	if err != nil {
+		return err
+	}
+	return eval.RenderConvergence(os.Stdout, res)
+}
+
+func cmdAccessLink(args []string) error {
+	fs := flag.NewFlagSet("accesslink", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget θ in packets per interval")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.AccessLinkComparison(s, *theta)
+	if err != nil {
+		return err
+	}
+	return eval.RenderAccessComparison(os.Stdout, res)
+}
+
+func cmdMaxMin(args []string) error {
+	fs := flag.NewFlagSet("maxmin", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget θ in packets per interval")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	prob, _, err := plan.Build(plan.Input{
+		Matrix:       s.Matrix,
+		Loads:        s.Loads,
+		Candidates:   s.MonitorLinks,
+		InvMeanSizes: s.UtilityParams(eval.Interval),
+		Budget:       core.BudgetPerInterval(*theta, eval.Interval),
+	})
+	if err != nil {
+		return err
+	}
+	sum, err := core.Solve(prob, core.Options{})
+	if err != nil {
+		return err
+	}
+	mm, err := core.SolveMaxMin(prob, core.MaxMinOptions{})
+	if err != nil {
+		return err
+	}
+	exact, err := core.SolveMaxMinExact(prob, 0)
+	if err != nil {
+		return err
+	}
+	minOf := func(u []float64) float64 {
+		m := u[0]
+		for _, v := range u {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	fmt.Printf("Max-min variant (paper's future-work objective) at θ = %.0f\n\n", *theta)
+	fmt.Printf("%-28s %14s %14s %14s\n", "", "sum objective", "maxmin heur", "maxmin exact")
+	fmt.Printf("%-28s %14.4f %14.4f %14.4f\n", "worst OD-pair utility",
+		minOf(sum.Utilities), minOf(mm.Utilities), minOf(exact.Utilities))
+	fmt.Printf("%-28s %14d %14d %14d\n", "active monitors",
+		len(sum.ActiveMonitors()), len(mm.ActiveMonitors()), len(exact.ActiveMonitors()))
+	fmt.Printf("\nper-pair utilities:\n")
+	for k := range s.Pairs {
+		fmt.Printf("  %-12s %8.4f %8.4f %8.4f\n", s.Pairs[k].Name,
+			sum.Utilities[k], mm.Utilities[k], exact.Utilities[k])
+	}
+	return nil
+}
+
+func cmdTM(args []string) error {
+	fs := flag.NewFlagSet("tm", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget in packets per interval")
+	trials := fs.Int("trials", 20, "sampling experiments per OD pair")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.TMStudy(s, *theta, *trials, *seed+5000)
+	if err != nil {
+		return err
+	}
+	return eval.RenderTM(os.Stdout, res)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget in packets per interval")
+	size := fs.Int("size", 500, "anomalous event footprint in packets per interval")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.DetectionStudy(s, *theta, *size)
+	if err != nil {
+		return err
+	}
+	return eval.RenderDetection(os.Stdout, res)
+}
+
+func cmdDynamic(args []string) error {
+	fs := flag.NewFlagSet("dynamic", flag.ExitOnError)
+	intervals := fs.Int("intervals", 24, "number of 5-minute intervals to simulate")
+	theta := fs.Float64("theta", 100000, "budget \u03b8 in packets per interval")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := eval.DynamicStudy(s, *intervals, *theta, *seed+4000)
+	if err != nil {
+		return err
+	}
+	return eval.RenderDynamic(os.Stdout, res)
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	file := fs.String("f", "", "scenario file (see internal/spec for the format)")
+	exact := fs.Bool("exact", false, "use the exact effective-rate model (1) instead of approximation (7)")
+	maxmin := fs.Bool("maxmin", false, "maximize the worst pair's utility (certified LP bisection) instead of the sum")
+	jsonOut := fs.Bool("json", false, "emit the plan as JSON (for automation)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("optimize needs -f <scenario file>")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := spec.Parse(f)
+	if err != nil {
+		return err
+	}
+	res, err := sc.Solve(core.Options{}, *exact)
+	if err != nil {
+		return err
+	}
+	sol := res.Solution
+	if *maxmin {
+		prob, _, err := plan.Build(plan.Input{
+			Matrix:       res.Matrix,
+			Loads:        res.Loads,
+			Candidates:   res.Candidates,
+			InvMeanSizes: invSizesOf(sc),
+			Budget:       core.BudgetPerInterval(sc.Theta, sc.Interval),
+		})
+		if err != nil {
+			return err
+		}
+		sol, err = core.SolveMaxMinExact(prob, 0)
+		if err != nil {
+			return err
+		}
+		res.Rates = plan.RatesByLink(sol, res.Candidates)
+	}
+	if *jsonOut {
+		type linkJSON struct {
+			Link    string  `json:"link"`
+			Rate    float64 `json:"rate"`
+			Load    float64 `json:"load_pkts_per_sec"`
+			Sampled float64 `json:"sampled_pkts_per_sec"`
+		}
+		type pairJSON struct {
+			Pair    string  `json:"pair"`
+			Rho     float64 `json:"effective_rate"`
+			Utility float64 `json:"utility"`
+		}
+		out := struct {
+			Theta     float64    `json:"theta_pkts_per_interval"`
+			Interval  float64    `json:"interval_seconds"`
+			Converged bool       `json:"converged"`
+			Links     []linkJSON `json:"links"`
+			Pairs     []pairJSON `json:"pairs"`
+		}{Theta: sc.Theta, Interval: sc.Interval, Converged: sol.Stats.Converged}
+		for _, lid := range res.Candidates {
+			p := res.Rates[lid]
+			out.Links = append(out.Links, linkJSON{
+				Link: sc.Graph.LinkName(lid), Rate: p,
+				Load: res.Loads[lid], Sampled: p * res.Loads[lid],
+			})
+		}
+		for k := range sc.Pairs {
+			out.Pairs = append(out.Pairs, pairJSON{
+				Pair: sc.Pairs[k].Name, Rho: sol.Rho[k], Utility: sol.Utilities[k],
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("solved: %d candidate links, \u03b8 = %.0f pkts / %.0fs, converged=%v (%d iterations)\n\n",
+		len(res.Candidates), sc.Theta, sc.Interval, sol.Stats.Converged, sol.Stats.Iterations)
+	fmt.Printf("%-16s %12s %14s %14s\n", "link", "rate p_i", "load (pkt/s)", "sampled pkt/s")
+	for _, lid := range res.Candidates {
+		p := res.Rates[lid]
+		if p == 0 {
+			fmt.Printf("%-16s %12s %14.0f %14s\n", sc.Graph.LinkName(lid), "off", res.Loads[lid], "-")
+			continue
+		}
+		fmt.Printf("%-16s %12.6f %14.0f %14.2f\n", sc.Graph.LinkName(lid), p, res.Loads[lid], p*res.Loads[lid])
+	}
+	fmt.Printf("\n%-20s %14s %10s\n", "OD pair", "effective rho", "utility")
+	for k := range sc.Pairs {
+		fmt.Printf("%-20s %14.6f %10.4f\n", sc.Pairs[k].Name, sol.Rho[k], sol.Utilities[k])
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget in packets per interval")
+	trials := fs.Int("trials", 20, "sampling experiments per OD pair")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	return eval.WriteReport(os.Stdout, s, eval.ReportConfig{
+		Theta:  *theta,
+		Trials: *trials,
+		Seed:   *seed,
+	})
+}
+
+// invSizesOf recomputes the per-pair utility parameters of a scenario.
+func invSizesOf(sc *spec.Scenario) []float64 {
+	inv := make([]float64, len(sc.Pairs))
+	for k := range sc.Pairs {
+		inv[k] = 1 / (sc.Rates[k] * sc.Interval)
+	}
+	return inv
+}
+
+func cmdExportSpec(args []string) error {
+	fs := flag.NewFlagSet("export-spec", flag.ExitOnError)
+	theta := fs.Float64("theta", 100000, "budget written into the file")
+	abilene := fs.Bool("abilene", false, "export the Abilene scenario instead of GEANT")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	build := geant.Build
+	if *abilene {
+		build = geant.BuildAbilene
+	}
+	s, err := build(*seed)
+	if err != nil {
+		return err
+	}
+	return spec.Export(os.Stdout, s.Graph, s.Demands, s.Pairs, s.Rates, *theta, eval.Interval)
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Print(s.Graph.DOT())
+	return err
+}
+
+func cmdAll(args []string) error {
+	fmt.Println("=== Figure 1 ===")
+	if err := cmdFigure1(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Table I ===")
+	if err := cmdTable1(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 2 ===")
+	if err := cmdFigure2(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Convergence (§IV-D) ===")
+	if err := cmdConvergence(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Access-link comparison (§V-C) ===")
+	if err := cmdAccessLink(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Traffic-matrix estimation comparison ===")
+	if err := cmdTM(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Anomaly-detection placement ===")
+	if err := cmdDetect(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Dynamic re-optimization ===")
+	if err := cmdDynamic(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Max-min extension ===")
+	return cmdMaxMin(nil)
+}

@@ -1,0 +1,50 @@
+// GEANT reproduction: the paper's evaluation task end to end.
+//
+// Builds the synthetic GEANT-2004 backbone, states the JANET measurement
+// task (estimate the traffic from the UK research network to each of the
+// 20 GEANT PoPs), solves for the optimal monitor set and sampling rates
+// at θ = 100,000 packets per 5-minute interval, and then validates the
+// plan by simulating 20 independent sampling experiments per OD pair —
+// the procedure of the paper's Section V-B.
+//
+// Run with:
+//
+//	go run ./examples/geant-repro
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"netsamp"
+	"netsamp/internal/eval"
+	"netsamp/internal/geant"
+)
+
+func main() {
+	scenario, err := netsamp.BuildGEANT(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Synthetic GEANT: %d PoPs, %d unidirectional links, %d candidate monitors\n",
+		scenario.Graph.NumNodes()-1, // minus the JANET customer node
+		scenario.Graph.NumLinks()-2, // minus the duplex access circuit
+		len(scenario.MonitorLinks))
+	fmt.Printf("Measurement task: %d JANET OD pairs, %.0f pkt/s total\n\n",
+		len(scenario.Pairs), geant.TotalJANETRate)
+
+	result, err := eval.Table1(scenario, 100000, 20, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.RenderTable1(os.Stdout, result); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nHow to read this against the paper's Table I: the optimum")
+	fmt.Println("activates a small subset of links; each OD pair is sampled on at")
+	fmt.Println("most two of them; the highest rates (~1%) sit on the lightly")
+	fmt.Println("loaded circuits carrying the smallest OD pairs (FR->LU, CZ->SK);")
+	fmt.Println("and the per-pair accuracy stays high and well balanced.")
+}

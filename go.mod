@@ -1,0 +1,3 @@
+module netsamp
+
+go 1.22

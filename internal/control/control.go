@@ -1,0 +1,206 @@
+// Package control turns the per-interval optimizer into an operational
+// monitoring controller: the component an ISP would actually run against
+// its NetFlow infrastructure.
+//
+// The paper establishes that plans must follow traffic and routing
+// dynamics (Section I) and that router-embedded monitors make
+// re-activation cheap — but reconfiguring hundreds of routers every five
+// minutes is still operational churn. The controller therefore adds two
+// practical mechanisms on top of core.Solve:
+//
+//   - load smoothing: link loads are EWMA-filtered across intervals, so
+//     a single noisy interval does not swing the plan;
+//   - activation hysteresis: the monitor SET only changes when the
+//     re-optimized set beats the best plan achievable on the currently
+//     active set by a configurable relative gain. Sampling rates on the
+//     active set are re-tuned every interval either way (a pure
+//     configuration change, no activation churn).
+package control
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netsamp/internal/core"
+	"netsamp/internal/plan"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+)
+
+// Options tunes the controller.
+type Options struct {
+	// Budget is θ as a sampled packet rate (core.BudgetPerInterval).
+	Budget float64
+	// SmoothAlpha is the EWMA weight of the newest load sample in
+	// (0, 1]; 1 (the default when 0) disables smoothing.
+	SmoothAlpha float64
+	// SwitchGain is the minimum relative objective improvement required
+	// to change the active monitor set (e.g. 0.01 = 1%). 0 disables
+	// hysteresis: every interval adopts the unconstrained optimum.
+	SwitchGain float64
+	// Solve carries the inner solver options.
+	Solve core.Options
+}
+
+// Decision is the controller's output for one interval.
+type Decision struct {
+	// Plan is the sampling-rate assignment to deploy.
+	Plan map[topology.LinkID]float64
+	// Solution is the solver output behind Plan.
+	Solution *core.Solution
+	// SetChanged reports whether the active monitor set differs from the
+	// previous interval's.
+	SetChanged bool
+	// Gain is the relative objective improvement of the unconstrained
+	// optimum over the best retained-set plan (0 when the set was free
+	// to begin with).
+	Gain float64
+}
+
+// Controller holds the cross-interval state. The zero value is not
+// usable; construct with New.
+type Controller struct {
+	opts      Options
+	active    []topology.LinkID // current monitor set (sorted)
+	ewmaLoads []float64
+	steps     int
+}
+
+// New returns a controller. Budget must be positive.
+func New(opts Options) (*Controller, error) {
+	if !(opts.Budget > 0) {
+		return nil, fmt.Errorf("control: budget %v, want > 0", opts.Budget)
+	}
+	if opts.SmoothAlpha < 0 || opts.SmoothAlpha > 1 {
+		return nil, fmt.Errorf("control: smooth alpha %v out of [0, 1]", opts.SmoothAlpha)
+	}
+	if opts.SwitchGain < 0 {
+		return nil, fmt.Errorf("control: switch gain %v, want >= 0", opts.SwitchGain)
+	}
+	if opts.SmoothAlpha == 0 {
+		opts.SmoothAlpha = 1
+	}
+	return &Controller{opts: opts}, nil
+}
+
+// ActiveSet returns the currently active monitor links (sorted copy).
+func (c *Controller) ActiveSet() []topology.LinkID {
+	return append([]topology.LinkID(nil), c.active...)
+}
+
+// Steps returns how many intervals the controller has processed.
+func (c *Controller) Steps() int { return c.steps }
+
+// Step ingests one interval's routing matrix, raw link loads (indexed by
+// LinkID) and per-pair utility parameters, and returns the plan to
+// deploy. candidates is the monitorable link set for this interval.
+func (c *Controller) Step(matrix *routing.Matrix, loads []float64, candidates []topology.LinkID, invSizes []float64) (*Decision, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("control: empty candidate set")
+	}
+	// EWMA the loads (element-wise; topology size may change between
+	// steps — reset the filter if it does).
+	if c.ewmaLoads == nil || len(c.ewmaLoads) != len(loads) {
+		c.ewmaLoads = append([]float64(nil), loads...)
+	} else {
+		a := c.opts.SmoothAlpha
+		for i, u := range loads {
+			c.ewmaLoads[i] = (1-a)*c.ewmaLoads[i] + a*u
+		}
+	}
+	smoothed := c.ewmaLoads
+
+	solveOn := func(cands []topology.LinkID) (*core.Solution, error) {
+		prob, _, err := plan.Build(plan.Input{
+			Matrix:       matrix,
+			Loads:        smoothed,
+			Candidates:   cands,
+			InvMeanSizes: invSizes,
+			Budget:       c.opts.Budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return core.Solve(prob, c.opts.Solve)
+	}
+
+	// Unconstrained optimum over the full candidate set.
+	full, err := solveOn(candidates)
+	if err != nil {
+		return nil, err
+	}
+	fullRates := plan.RatesByLink(full, candidates)
+	fullSet := sortedKeys(fullRates)
+
+	c.steps++
+	// First interval, no hysteresis, or no previous set: adopt.
+	if c.active == nil || c.opts.SwitchGain == 0 {
+		changed := !equalSets(c.active, fullSet)
+		c.active = fullSet
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: changed}, nil
+	}
+
+	// Retained-set plan: re-tune rates on the intersection of the old
+	// active set with today's candidates. If any pair loses coverage the
+	// retained set is infeasible and we must switch.
+	retained := intersect(c.active, candidates)
+	var retainedSol *core.Solution
+	if len(retained) > 0 {
+		retainedSol, err = solveOn(retained)
+		if err != nil {
+			retainedSol = nil // e.g. a pair has no link in the retained set
+		}
+	}
+	if retainedSol == nil {
+		c.active = fullSet
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: true}, nil
+	}
+	gain := 0.0
+	if retainedSol.Objective != 0 {
+		gain = (full.Objective - retainedSol.Objective) / math.Abs(retainedSol.Objective)
+	}
+	if gain > c.opts.SwitchGain {
+		c.active = fullSet
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Gain: gain}, nil
+	}
+	// Keep the set; deploy re-tuned rates.
+	rates := plan.RatesByLink(retainedSol, retained)
+	c.active = sortedKeys(rates)
+	return &Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain}, nil
+}
+
+func sortedKeys(m map[topology.LinkID]float64) []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(m))
+	for lid := range m {
+		out = append(out, lid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSets(a, b []topology.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b []topology.LinkID) []topology.LinkID {
+	set := make(map[topology.LinkID]bool, len(b))
+	for _, lid := range b {
+		set[lid] = true
+	}
+	var out []topology.LinkID
+	for _, lid := range a {
+		if set[lid] {
+			out = append(out, lid)
+		}
+	}
+	return out
+}

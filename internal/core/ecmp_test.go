@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateFractions(t *testing.T) {
+	good := func() *Problem {
+		return &Problem{
+			Loads:  []float64{100, 100},
+			Budget: 1,
+			Pairs: []Pair{{
+				Name: "a", Links: []int{0, 1}, Fracs: []float64{0.5, 0.5},
+				Utility: MustSRE(0.01),
+			}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good fractional problem rejected: %v", err)
+	}
+	cases := []func(p *Problem){
+		func(p *Problem) { p.Pairs[0].Fracs = []float64{0.5} },      // length
+		func(p *Problem) { p.Pairs[0].Fracs = []float64{0, 0.5} },   // zero
+		func(p *Problem) { p.Pairs[0].Fracs = []float64{1.5, 0.5} }, // > 1
+		func(p *Problem) { p.Exact = true },                         // exact + fractions
+	}
+	for i, mutate := range cases {
+		p := good()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFractionalEffectiveRate(t *testing.T) {
+	p := &Problem{
+		Loads:  []float64{100, 100},
+		Budget: 1,
+		Pairs: []Pair{{
+			Name: "a", Links: []int{0, 1}, Fracs: []float64{0.5, 0.25},
+			Utility: MustSRE(0.01),
+		}},
+	}
+	rho := p.EffectiveRates([]float64{0.02, 0.04})
+	want := 0.5*0.02 + 0.25*0.04
+	if math.Abs(rho[0]-want) > 1e-15 {
+		t.Fatalf("rho = %v, want %v", rho[0], want)
+	}
+}
+
+func TestFractionalGradientMatchesFiniteDifference(t *testing.T) {
+	p := &Problem{
+		Loads:  []float64{500, 900, 1300},
+		Budget: 5,
+		Pairs: []Pair{
+			{Name: "a", Links: []int{0, 1}, Fracs: []float64{0.5, 0.5}, Utility: MustSRE(0.002)},
+			{Name: "b", Links: []int{1, 2}, Fracs: []float64{0.25, 0.75}, Utility: MustSRE(0.001)},
+		},
+	}
+	rates := []float64{0.004, 0.003, 0.002}
+	g := make([]float64, 3)
+	p.Gradient(rates, g)
+	for i := range rates {
+		h := 1e-8
+		up := append([]float64(nil), rates...)
+		dn := append([]float64(nil), rates...)
+		up[i] += h
+		dn[i] -= h
+		fd := (p.Objective(up) - p.Objective(dn)) / (2 * h)
+		if math.Abs(fd-g[i])/math.Max(math.Abs(g[i]), 1e-9) > 1e-4 {
+			t.Fatalf("gradient[%d] = %v, finite diff %v", i, g[i], fd)
+		}
+	}
+	// Line derivatives along a budget-neutral direction.
+	s := []float64{0.001, -0.0005, 0.0002}
+	d1, d2 := p.lineDerivs(rates, s, 0.1)
+	h := 1e-7
+	shifted := func(tt float64) float64 {
+		x := append([]float64(nil), rates...)
+		for i := range x {
+			x[i] += tt * s[i]
+		}
+		return p.Objective(x)
+	}
+	fd1 := (shifted(0.1+h) - shifted(0.1-h)) / (2 * h)
+	if math.Abs(fd1-d1)/math.Max(math.Abs(d1), 1e-9) > 1e-4 {
+		t.Fatalf("lineDeriv = %v, finite diff %v", d1, fd1)
+	}
+	if d2 >= 0 {
+		t.Fatalf("line curvature %v, want < 0", d2)
+	}
+}
+
+// TestSolveECMPEquivalence: a pair split 50/50 over two identical
+// parallel links must receive equal rates on both, and its effective
+// rate must equal what a single-path pair would get at the same cost.
+func TestSolveECMPEquivalence(t *testing.T) {
+	p := &Problem{
+		// Two ECMP branches of pair a (each carries half its packets and
+		// half its load) and one separate link for pair b.
+		Loads:  []float64{1000, 1000, 2000},
+		Budget: 20,
+		Pairs: []Pair{
+			{Name: "a", Links: []int{0, 1}, Fracs: []float64{0.5, 0.5}, Utility: MustSRE(0.001)},
+			{Name: "b", Links: []int{2}, Utility: MustSRE(0.001)},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stats.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(sol.Rates[0]-sol.Rates[1]) > 1e-9 {
+		t.Fatalf("ECMP branches got unequal rates: %v", sol.Rates)
+	}
+	// Symmetric instance: sampling pair a on both branches at rate p
+	// gives rho_a = p at cost 2000p — identical economics to pair b on
+	// its single 2000-load link. Rates must match.
+	if math.Abs(sol.Rates[0]-sol.Rates[2]) > 1e-7 {
+		t.Fatalf("ECMP pair priced differently from single-path twin: %v", sol.Rates)
+	}
+	if math.Abs(sol.Rho[0]-sol.Rho[1]) > 1e-7 {
+		t.Fatalf("unequal effective rates: %v", sol.Rho)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+)
+
+// MaxMinOptions tunes SolveMaxMin. The zero value selects sensible
+// defaults.
+type MaxMinOptions struct {
+	// Rounds is the number of reweighting rounds (0 selects 40).
+	Rounds int
+	// Eta is the softmax sharpness of the reweighting (0 selects 60).
+	// Larger values focus more weight on the currently-worst pairs.
+	Eta float64
+	// Damping blends consecutive weight vectors, w ← (1−d)·w + d·w_new
+	// (0 selects 0.5).
+	Damping float64
+	// Solve carries the inner gradient-projection options.
+	Solve Options
+}
+
+func (o MaxMinOptions) rounds() int {
+	if o.Rounds <= 0 {
+		return 40
+	}
+	return o.Rounds
+}
+
+func (o MaxMinOptions) eta() float64 {
+	if o.Eta <= 0 {
+		return 60
+	}
+	return o.Eta
+}
+
+func (o MaxMinOptions) damping() float64 {
+	if o.Damping <= 0 || o.Damping > 1 {
+		return 0.5
+	}
+	return o.Damping
+}
+
+// SolveMaxMin approximately maximizes the alternative objective the
+// paper defers to future work (Section III): min_k M(ρ_k(p)), i.e. the
+// utility of the worst-measured OD pair.
+//
+// The max-min objective is not differentiable everywhere, which breaks
+// the Newton line search (the paper makes exactly this observation), so
+// SolveMaxMin uses iterated reweighting: the weighted-sum problem is
+// solved repeatedly with weights concentrated — by a softmax of
+// sharpness Eta — on the pairs whose utility is currently lowest. Each
+// round is a full KKT-verified convex solve; across rounds the weight
+// vector converges toward the optimal dual weights of the max-min
+// program. The best-minimum solution over all rounds is returned.
+//
+// This is a heuristic for the outer (weight) iteration, not a certified
+// optimum of the max-min program; the stated-problem solver with its
+// optimality certificate remains Solve.
+func SolveMaxMin(p *Problem, opt MaxMinOptions) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nPairs := len(p.Pairs)
+	work := *p
+	work.Pairs = append([]Pair(nil), p.Pairs...)
+	weights := make([]float64, nPairs)
+	for k := range weights {
+		weights[k] = 1
+	}
+
+	var best *Solution
+	bestMin := math.Inf(-1)
+	damp := opt.damping()
+	for round := 0; round < opt.rounds(); round++ {
+		for k := range work.Pairs {
+			work.Pairs[k].Weight = weights[k]
+		}
+		sol, err := Solve(&work, opt.Solve)
+		if err != nil {
+			return nil, err
+		}
+		// Track the best minimum achieved; report per-pair utilities
+		// unweighted.
+		minU := math.Inf(1)
+		for k := range p.Pairs {
+			u := p.Pairs[k].Utility.Value(sol.Rho[k])
+			sol.Utilities[k] = u
+			if u < minU {
+				minU = u
+			}
+		}
+		sol.Objective = minU
+		if minU > bestMin {
+			bestMin = minU
+			best = sol
+		}
+		// Reweight: softmax over (minU − u_k), so the worst pair gets the
+		// largest weight. Normalize to mean 1 to keep the objective scale
+		// stable across rounds.
+		sum := 0.0
+		next := make([]float64, nPairs)
+		for k := range next {
+			next[k] = math.Exp(opt.eta() * (minU - sol.Utilities[k]))
+			sum += next[k]
+		}
+		for k := range next {
+			next[k] *= float64(nPairs) / sum
+			weights[k] = (1-damp)*weights[k] + damp*next[k]
+		}
+	}
+	return best, nil
+}

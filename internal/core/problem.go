@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pair is one OD pair of the measurement task: the links it traverses
+// (as dense indices into the candidate monitor set) and its utility.
+type Pair struct {
+	Name    string
+	Links   []int
+	Utility Utility
+	// Fracs optionally holds the ECMP traffic fraction of each entry of
+	// Links (nil means single-path routing: every fraction is 1). Under
+	// per-flow ECMP a packet of the pair crosses link i with probability
+	// Fracs[i], so the effective sampling rate (7) generalizes to
+	// rho_k = sum_i f_ki*p_i. The exact product model (1) assumes
+	// deterministic single-path routing and rejects fractions.
+	Fracs []float64
+	// Weight scales this pair's utility in the objective; 0 means 1.
+	// The paper's objective weighs pairs equally; weights support
+	// operator priorities and the max-min solver's reweighting scheme.
+	Weight float64
+}
+
+// weight returns the effective objective weight of the pair.
+func (pr *Pair) weight() float64 {
+	if pr.Weight <= 0 {
+		return 1
+	}
+	return pr.Weight
+}
+
+// Problem is an instance of the network-wide sampling problem over a
+// candidate monitor set of n links indexed 0..n-1.
+//
+// Loads, MaxRate and Budget share one time unit: Loads[i] is the packet
+// rate U_i on link i, Budget is θ expressed as the maximum sampled
+// packet rate network-wide. Use BudgetPerInterval to convert the paper's
+// packets-per-measurement-interval convention.
+type Problem struct {
+	// Loads is U_i > 0 for each candidate link.
+	Loads []float64
+	// MaxRate is α_i ∈ (0, 1] for each candidate link. Nil means α_i = 1
+	// for all links (no per-link cap, as in the paper's Table I run).
+	MaxRate []float64
+	// Budget is θ: Σ p_i·U_i = Budget at the optimum.
+	Budget float64
+	// Pairs is the measurement task F.
+	Pairs []Pair
+	// Exact selects the exact effective-rate model (1):
+	// ρ_k = 1 − Π(1−p_i). The default (false) is the paper's working
+	// approximation (7): ρ_k = Σ r_ki·p_i, valid for the low rates and
+	// short monitored paths the optimum exhibits (Section IV-B).
+	Exact bool
+}
+
+// BudgetPerInterval converts a budget of θ sampled packets per
+// measurement interval of the given length in seconds into the sampled
+// packet rate used by Problem.Budget.
+func BudgetPerInterval(theta, intervalSeconds float64) float64 {
+	return theta / intervalSeconds
+}
+
+// NumLinks returns the size of the candidate monitor set.
+func (p *Problem) NumLinks() int { return len(p.Loads) }
+
+// alpha returns the effective per-link cap for link i.
+func (p *Problem) alpha(i int) float64 {
+	if p.MaxRate == nil {
+		return 1
+	}
+	return p.MaxRate[i]
+}
+
+// Validate checks the problem for structural and feasibility errors:
+// positive loads, caps in (0, 1], a positive budget not exceeding the
+// maximum samplable rate Σ α_i·U_i, at least one pair, and pair rows
+// referencing valid links.
+func (p *Problem) Validate() error {
+	n := p.NumLinks()
+	if n == 0 {
+		return fmt.Errorf("core: no candidate links")
+	}
+	if p.MaxRate != nil && len(p.MaxRate) != n {
+		return fmt.Errorf("core: MaxRate has %d entries for %d links", len(p.MaxRate), n)
+	}
+	maxSampled := 0.0
+	for i, u := range p.Loads {
+		if !(u > 0) || math.IsInf(u, 0) || math.IsNaN(u) {
+			return fmt.Errorf("core: load of link %d is %v, want > 0", i, u)
+		}
+		a := p.alpha(i)
+		if !(a > 0 && a <= 1) {
+			return fmt.Errorf("core: max rate of link %d is %v, want (0, 1]", i, a)
+		}
+		maxSampled += a * u
+	}
+	if !(p.Budget > 0) {
+		return fmt.Errorf("core: budget %v, want > 0", p.Budget)
+	}
+	if p.Budget > maxSampled*(1+1e-12) {
+		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v (infeasible)", p.Budget, maxSampled)
+	}
+	if len(p.Pairs) == 0 {
+		return fmt.Errorf("core: no OD pairs")
+	}
+	for k, pr := range p.Pairs {
+		if pr.Utility == nil {
+			return fmt.Errorf("core: pair %d (%q) has no utility", k, pr.Name)
+		}
+		if len(pr.Links) == 0 {
+			return fmt.Errorf("core: pair %d (%q) traverses no candidate link", k, pr.Name)
+		}
+		seen := make(map[int]bool, len(pr.Links))
+		for _, l := range pr.Links {
+			if l < 0 || l >= n {
+				return fmt.Errorf("core: pair %d (%q) references link %d out of range [0,%d)", k, pr.Name, l, n)
+			}
+			if seen[l] {
+				return fmt.Errorf("core: pair %d (%q) references link %d twice", k, pr.Name, l)
+			}
+			seen[l] = true
+		}
+		if pr.Fracs != nil {
+			if len(pr.Fracs) != len(pr.Links) {
+				return fmt.Errorf("core: pair %d (%q) has %d fractions for %d links", k, pr.Name, len(pr.Fracs), len(pr.Links))
+			}
+			if p.Exact {
+				return fmt.Errorf("core: pair %d (%q): the exact rate model requires single-path routing (no fractions)", k, pr.Name)
+			}
+			for i, f := range pr.Fracs {
+				if !(f > 0 && f <= 1) {
+					return fmt.Errorf("core: pair %d (%q) fraction %d is %v, want (0, 1]", k, pr.Name, i, f)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EffectiveRates returns ρ_k for every pair at the rate vector rates,
+// using the model selected by p.Exact.
+func (p *Problem) EffectiveRates(rates []float64) []float64 {
+	out := make([]float64, len(p.Pairs))
+	for k := range p.Pairs {
+		out[k] = p.effectiveRate(k, rates)
+	}
+	return out
+}
+
+func (p *Problem) effectiveRate(k int, rates []float64) float64 {
+	if p.Exact {
+		q := 1.0
+		for _, i := range p.Pairs[k].Links {
+			q *= 1 - rates[i]
+		}
+		return 1 - q
+	}
+	pr := &p.Pairs[k]
+	s := 0.0
+	for j, i := range pr.Links {
+		if pr.Fracs != nil {
+			s += pr.Fracs[j] * rates[i]
+		} else {
+			s += rates[i]
+		}
+	}
+	return s
+}
+
+// Objective returns Σ_k M_k(ρ_k(rates)).
+func (p *Problem) Objective(rates []float64) float64 {
+	s := 0.0
+	for k := range p.Pairs {
+		pr := &p.Pairs[k]
+		s += pr.weight() * pr.Utility.Value(p.effectiveRate(k, rates))
+	}
+	return s
+}
+
+// Gradient writes ∂/∂p_i Σ_k M_k(ρ_k) into out (length NumLinks).
+func (p *Problem) Gradient(rates, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for k := range p.Pairs {
+		pr := &p.Pairs[k]
+		rho := p.effectiveRate(k, rates)
+		d := pr.weight() * pr.Utility.Deriv(rho)
+		if p.Exact {
+			// ∂ρ_k/∂p_i = Π_{j≠i}(1−p_j) = (1−ρ_k)/(1−p_i).
+			for _, i := range pr.Links {
+				den := 1 - rates[i]
+				if den < 1e-12 {
+					den = 1e-12
+				}
+				out[i] += d * (1 - rho) / den
+			}
+		} else if pr.Fracs != nil {
+			for j, i := range pr.Links {
+				out[i] += d * pr.Fracs[j]
+			}
+		} else {
+			for _, i := range pr.Links {
+				out[i] += d
+			}
+		}
+	}
+}
+
+// lineDerivs returns φ'(t) and φ”(t) for φ(t) = Objective(rates + t·s).
+// The solver's Newton line search needs both. In the exact model the
+// second derivative includes the curvature of ρ_k(t) itself.
+func (p *Problem) lineDerivs(rates, s []float64, t float64) (d1, d2 float64) {
+	for k := range p.Pairs {
+		pr := &p.Pairs[k]
+		w := pr.weight()
+		if p.Exact {
+			g := 1.0
+			h := 0.0  // Σ s_i/(1−x_i)
+			h2 := 0.0 // Σ s_i²/(1−x_i)²
+			for _, i := range pr.Links {
+				x := 1 - rates[i] - t*s[i]
+				if x < 1e-12 {
+					x = 1e-12
+				}
+				g *= x
+				term := s[i] / x
+				h += term
+				h2 += term * term
+			}
+			rho := 1 - g
+			rp := g * h         // ρ'(t)
+			rpp := g*h2 - g*h*h // ρ''(t)
+			du := w * pr.Utility.Deriv(rho)
+			cu := w * pr.Utility.Curv(rho)
+			d1 += du * rp
+			d2 += cu*rp*rp + du*rpp
+		} else {
+			rho, q := 0.0, 0.0
+			for j, i := range pr.Links {
+				f := 1.0
+				if pr.Fracs != nil {
+					f = pr.Fracs[j]
+				}
+				rho += f * (rates[i] + t*s[i])
+				q += f * s[i]
+			}
+			d1 += w * pr.Utility.Deriv(rho) * q
+			d2 += w * pr.Utility.Curv(rho) * q * q
+		}
+	}
+	return d1, d2
+}

@@ -1,0 +1,638 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the gradient-projection solver. The zero value selects
+// the defaults used throughout the paper's evaluation.
+type Options struct {
+	// MaxIter bounds the number of search directions computed. The paper
+	// uses 2000 ("to keep the execution time in the order of a few
+	// seconds"); 0 selects that default.
+	MaxIter int
+	// Tol is the relative convergence tolerance on the infinity norm of
+	// the projected gradient and on the KKT multiplier check. 0 selects
+	// 1e-6, roughly the double-precision noise floor of the gradient at
+	// the low sampling rates the optimum exhibits.
+	Tol float64
+	// DisablePreconditioner turns off the diagonal 1/U_i² metric that
+	// makes the budget hyperplane isotropic (ablation switch; the
+	// unpreconditioned method zig-zags when link loads span orders of
+	// magnitude).
+	DisablePreconditioner bool
+	// DisablePolakRibiere turns off conjugate-direction blending and
+	// falls back to the pure projected gradient (the paper discusses the
+	// zig-zag pathology this causes; kept as an ablation switch).
+	DisablePolakRibiere bool
+	// DisableNewton replaces the Newton one-dimensional search with pure
+	// bisection on φ' (ablation switch; slower, same fixed point).
+	DisableNewton bool
+	// Initial optionally supplies a feasible starting point. When nil a
+	// waterfilling point on the budget hyperplane is used.
+	Initial []float64
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 2000
+	}
+	return o.MaxIter
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-6
+	}
+	return o.Tol
+}
+
+// Stats records how the solver ran; the paper reports these numbers for
+// 200 randomized executions (Section IV-D).
+type Stats struct {
+	// Iterations is the number of search directions computed.
+	Iterations int
+	// Removals counts the events where active constraints with negative
+	// Lagrange multipliers had to be de-activated to continue the search.
+	Removals int
+	// Converged reports whether the KKT conditions were met within
+	// MaxIter iterations.
+	Converged bool
+}
+
+// Solution is the solver's output: the optimal sampling-rate vector and
+// its certificates.
+type Solution struct {
+	// Rates is p*: Rates[i] is the sampling probability of candidate
+	// link i; zero means the monitor on link i stays off.
+	Rates []float64
+	// Objective is Σ_k M_k(ρ_k) at Rates.
+	Objective float64
+	// Rho and Utilities are the per-pair effective sampling rates and
+	// utilities at Rates.
+	Rho       []float64
+	Utilities []float64
+	// Lambda is the multiplier of the budget equality constraint (the
+	// marginal utility of capacity θ).
+	Lambda float64
+	// LowerMult and UpperMult are the multipliers ν_i (p_i ≥ 0) and μ_i
+	// (p_i ≤ α_i); entries are zero for inactive constraints.
+	LowerMult, UpperMult []float64
+	// Stats describes the run.
+	Stats Stats
+}
+
+// ActiveMonitors returns the indices of links with a strictly positive
+// sampling rate — the monitors that must be activated.
+func (s *Solution) ActiveMonitors() []int {
+	var out []int
+	for i, r := range s.Rates {
+		if r > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SampledRate returns Σ p_i·U_i for this solution under the given loads.
+func (s *Solution) SampledRate(loads []float64) float64 {
+	t := 0.0
+	for i, r := range s.Rates {
+		t += r * loads[i]
+	}
+	return t
+}
+
+// snapTol is the absolute tolerance within which a rate is snapped onto
+// a bound and the bound is considered active.
+const snapTol = 1e-12
+
+// Solve runs the gradient projection method of Section IV-D and returns
+// the optimizer of the sampling problem. The returned solution is
+// feasible; Stats.Converged reports whether it carries a KKT optimality
+// certificate (in the paper's experiments 98.6% of runs converge within
+// 2000 iterations).
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumLinks()
+	tol := opt.tol()
+
+	rates, err := initialPoint(p, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	lower := make([]bool, n) // p_i = 0 active
+	upper := make([]bool, n) // p_i = α_i active
+	syncActive(p, rates, lower, upper)
+
+	g := make([]float64, n)
+	d := make([]float64, n)
+	sdir := make([]float64, n)
+	prevD := make([]float64, n)
+	havePrev := false
+
+	var stats Stats
+	for stats.Iterations = 0; stats.Iterations < opt.maxIter(); stats.Iterations++ {
+		reproject(p, rates, lower, upper)
+		p.Gradient(rates, g)
+
+		free := countFree(lower, upper)
+		if free == 0 {
+			// Fully constrained vertex: optimal iff some λ satisfies all
+			// bound multipliers; otherwise free the violators.
+			if ok := vertexKKT(p, g, lower, upper, tol); ok {
+				return finish(p, rates, g, lower, upper, stats, true), nil
+			}
+			deactivateVertex(p, g, lower, upper)
+			stats.Removals++
+			havePrev = false
+			continue
+		}
+
+		lambda := projectionLambda(p, g, lower, upper)
+		for i := 0; i < n; i++ {
+			if lower[i] || upper[i] {
+				d[i] = 0
+			} else {
+				d[i] = g[i] - lambda*p.Loads[i]
+			}
+		}
+
+		if normInf(d) <= tol*(1+normInf(g)) {
+			// (convergence test is on the unpreconditioned residual)
+			// Projected gradient vanished: verify KKT at this point.
+			if multipliersOK(p, g, lambda, lower, upper, tol) {
+				return finish(p, rates, g, lower, upper, stats, true), nil
+			}
+			// Paper's strategy: de-activate every active constraint whose
+			// multiplier is negative and resume the search.
+			removed := deactivateNegative(p, g, lambda, lower, upper, tol)
+			if removed == 0 {
+				// Numerical corner: multipliers marginally negative but
+				// below deactivation threshold. Treat as converged.
+				return finish(p, rates, g, lower, upper, stats, true), nil
+			}
+			stats.Removals++
+			havePrev = false
+			continue
+		}
+
+		// Precondition with the diagonal metric 1/U_i²: equivalent to
+		// taking the steepest-ascent direction in sampled-rate space
+		// q_i = p_i·U_i, where the budget hyperplane Σq = θ is isotropic.
+		// Without it the projected gradient zig-zags badly when loads
+		// span orders of magnitude. The preconditioned direction must be
+		// re-projected onto the hyperplane (in the scaled metric the
+		// multiplier is the mean of g_i/U_i over free coordinates).
+		if !opt.DisablePreconditioner {
+			nFree, lamW := 0, 0.0
+			for i := 0; i < n; i++ {
+				if !lower[i] && !upper[i] {
+					lamW += g[i] / p.Loads[i]
+					nFree++
+				}
+			}
+			lamW /= float64(nFree)
+			for i := 0; i < n; i++ {
+				if lower[i] || upper[i] {
+					d[i] = 0
+				} else {
+					d[i] = (g[i] - lamW*p.Loads[i]) / (p.Loads[i] * p.Loads[i])
+				}
+			}
+		}
+
+		// Polak-Ribière blend of the previous direction (Section IV-D).
+		copy(sdir, d)
+		if !opt.DisablePolakRibiere && havePrev {
+			num, den := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				num += d[i] * (d[i] - prevD[i])
+				den += prevD[i] * prevD[i]
+			}
+			if den > 0 {
+				beta := num / den
+				if beta > 0 {
+					for i := 0; i < n; i++ {
+						sdir[i] = d[i] + beta*prevD[i]
+					}
+					// The blended direction must remain an ascent
+					// direction; otherwise restart from the projection.
+					if dot(sdir, g) <= 0 {
+						copy(sdir, d)
+					}
+				}
+			}
+		}
+		copy(prevD, d)
+		havePrev = true
+
+		tMax, blocking := maxStep(p, rates, sdir, lower, upper)
+		if tMax <= 0 {
+			// A constraint is binding in the search direction at step
+			// zero: activate it and recompute the projection.
+			if blocking >= 0 {
+				activate(p, rates, blocking, lower, upper)
+				havePrev = false
+				continue
+			}
+			// Direction is zero on free coordinates; should have been
+			// caught by the norm test above.
+			return finish(p, rates, g, lower, upper, stats, false), nil
+		}
+
+		t, hitMax := lineSearch(p, rates, sdir, tMax, opt)
+		for i := 0; i < n; i++ {
+			if !lower[i] && !upper[i] {
+				rates[i] += t * sdir[i]
+			}
+		}
+		if hitMax && blocking >= 0 {
+			activate(p, rates, blocking, lower, upper)
+			havePrev = false
+		}
+		syncActive(p, rates, lower, upper)
+	}
+
+	reproject(p, rates, lower, upper)
+	p.Gradient(rates, g)
+	return finish(p, rates, g, lower, upper, stats, false), nil
+}
+
+// initialPoint returns a feasible start: the caller's point (validated)
+// or the waterfilling point min(α_i, τ/U_i) with τ chosen so the budget
+// holds with equality.
+func initialPoint(p *Problem, opt Options) ([]float64, error) {
+	n := p.NumLinks()
+	if opt.Initial != nil {
+		if len(opt.Initial) != n {
+			return nil, fmt.Errorf("core: initial point has %d entries for %d links", len(opt.Initial), n)
+		}
+		rates := append([]float64(nil), opt.Initial...)
+		total := 0.0
+		for i, r := range rates {
+			if r < -snapTol || r > p.alpha(i)+snapTol {
+				return nil, fmt.Errorf("core: initial rate %v of link %d violates [0, %v]", r, i, p.alpha(i))
+			}
+			total += r * p.Loads[i]
+		}
+		if math.Abs(total-p.Budget) > 1e-6*math.Max(1, p.Budget) {
+			return nil, fmt.Errorf("core: initial point uses %v of budget %v", total, p.Budget)
+		}
+		return rates, nil
+	}
+	// Waterfill: Σ_i min(α_i·U_i, τ) = Budget; bisect on τ.
+	hi := 0.0
+	for i := range p.Loads {
+		if v := p.alpha(i) * p.Loads[i]; v > hi {
+			hi = v
+		}
+	}
+	lo := 0.0
+	total := func(tau float64) float64 {
+		s := 0.0
+		for i := range p.Loads {
+			s += math.Min(p.alpha(i)*p.Loads[i], tau)
+		}
+		return s
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if total(mid) < p.Budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tau := (lo + hi) / 2
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = math.Min(p.alpha(i), tau/p.Loads[i])
+	}
+	// Exact equality: rescale the interior coordinates to absorb the
+	// bisection residual.
+	fixBudget(p, rates, nil, nil)
+	return rates, nil
+}
+
+// fixBudget removes the budget-equality drift by shifting free
+// coordinates along the loads vector (the minimum-norm correction),
+// clamping to bounds. lower/upper may be nil, meaning all coordinates
+// are free.
+func fixBudget(p *Problem, rates []float64, lower, upper []bool) {
+	for pass := 0; pass < 4; pass++ {
+		viol := -p.Budget
+		for i, r := range rates {
+			viol += r * p.Loads[i]
+		}
+		if math.Abs(viol) <= 1e-12*math.Max(1, p.Budget) {
+			return
+		}
+		den := 0.0
+		for i := range rates {
+			if lower != nil && (lower[i] || upper[i]) {
+				continue
+			}
+			den += p.Loads[i] * p.Loads[i]
+		}
+		if den == 0 {
+			return
+		}
+		for i := range rates {
+			if lower != nil && (lower[i] || upper[i]) {
+				continue
+			}
+			rates[i] -= viol * p.Loads[i] / den
+			if rates[i] < 0 {
+				rates[i] = 0
+			}
+			if a := p.alpha(i); rates[i] > a {
+				rates[i] = a
+			}
+		}
+	}
+}
+
+// reproject snaps near-bound rates onto their bounds and restores the
+// budget equality.
+func reproject(p *Problem, rates []float64, lower, upper []bool) {
+	for i := range rates {
+		if rates[i] < snapTol {
+			rates[i] = 0
+		}
+		if a := p.alpha(i); rates[i] > a-snapTol {
+			rates[i] = a
+		}
+	}
+	fixBudget(p, rates, lower, upper)
+}
+
+// syncActive refreshes the active-set flags from the current point.
+func syncActive(p *Problem, rates []float64, lower, upper []bool) {
+	for i := range rates {
+		lower[i] = rates[i] <= snapTol
+		upper[i] = rates[i] >= p.alpha(i)-snapTol
+		if lower[i] {
+			rates[i] = 0
+		}
+		if upper[i] {
+			rates[i] = p.alpha(i)
+		}
+	}
+}
+
+func activate(p *Problem, rates []float64, i int, lower, upper []bool) {
+	a := p.alpha(i)
+	if math.Abs(rates[i]-a) < math.Abs(rates[i]) {
+		rates[i] = a
+		upper[i] = true
+	} else {
+		rates[i] = 0
+		lower[i] = true
+	}
+}
+
+func countFree(lower, upper []bool) int {
+	n := 0
+	for i := range lower {
+		if !lower[i] && !upper[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// projectionLambda returns the multiplier of the budget hyperplane for
+// the projection of g onto the free subspace: λ = ⟨g,U⟩/⟨U,U⟩ over free
+// coordinates.
+func projectionLambda(p *Problem, g []float64, lower, upper []bool) float64 {
+	num, den := 0.0, 0.0
+	for i := range g {
+		if lower[i] || upper[i] {
+			continue
+		}
+		num += g[i] * p.Loads[i]
+		den += p.Loads[i] * p.Loads[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// multipliersOK checks the sign conditions on the bound multipliers at a
+// stationary point of the free subspace: ν_i = λU_i − g_i ≥ 0 for active
+// lower bounds, μ_i = g_i − λU_i ≥ 0 for active upper bounds.
+func multipliersOK(p *Problem, g []float64, lambda float64, lower, upper []bool, tol float64) bool {
+	kappa := tol * (1 + normInf(g))
+	for i := range g {
+		if lower[i] && lambda*p.Loads[i]-g[i] < -kappa {
+			return false
+		}
+		if upper[i] && g[i]-lambda*p.Loads[i] < -kappa {
+			return false
+		}
+	}
+	return true
+}
+
+// deactivateNegative frees every active bound whose multiplier is
+// negative (the paper's recovery strategy) and returns how many were
+// freed.
+func deactivateNegative(p *Problem, g []float64, lambda float64, lower, upper []bool, tol float64) int {
+	kappa := tol * (1 + normInf(g))
+	removed := 0
+	for i := range g {
+		if lower[i] && lambda*p.Loads[i]-g[i] < -kappa {
+			lower[i] = false
+			removed++
+		} else if upper[i] && g[i]-lambda*p.Loads[i] < -kappa {
+			upper[i] = false
+			removed++
+		}
+	}
+	return removed
+}
+
+// vertexKKT handles the fully-constrained case: every coordinate is at a
+// bound, so λ is not pinned by stationarity; optimality holds iff the
+// interval [max over upper of g_i/U_i, min over lower of g_i/U_i]
+// is non-empty.
+func vertexKKT(p *Problem, g []float64, lower, upper []bool, tol float64) bool {
+	loLam := math.Inf(-1) // λ ≥ g_i/U_i … from upper bounds
+	hiLam := math.Inf(1)  // λ ≤ g_i/U_i … from lower bounds
+	for i := range g {
+		r := g[i] / p.Loads[i]
+		if upper[i] {
+			loLam = math.Max(loLam, r)
+		}
+		if lower[i] {
+			hiLam = math.Min(hiLam, r)
+		}
+	}
+	kappa := tol * (1 + normInf(g))
+	return loLam <= hiLam+kappa
+}
+
+// deactivateVertex frees the bounds that prevent the λ-interval from
+// being non-empty: the arg-max upper bound and the arg-min lower bound.
+func deactivateVertex(p *Problem, g []float64, lower, upper []bool) {
+	loIdx, hiIdx := -1, -1
+	loLam, hiLam := math.Inf(-1), math.Inf(1)
+	for i := range g {
+		r := g[i] / p.Loads[i]
+		if upper[i] && r > loLam {
+			loLam, loIdx = r, i
+		}
+		if lower[i] && r < hiLam {
+			hiLam, hiIdx = r, i
+		}
+	}
+	if loIdx >= 0 {
+		upper[loIdx] = false
+	}
+	if hiIdx >= 0 {
+		lower[hiIdx] = false
+	}
+}
+
+// maxStep returns the largest step along s that keeps every free
+// coordinate within its bounds, and the index of the first blocking
+// constraint (-1 when unbounded, which cannot happen with finite caps
+// unless s is zero on the free set).
+func maxStep(p *Problem, rates, s []float64, lower, upper []bool) (float64, int) {
+	tMax := math.Inf(1)
+	blocking := -1
+	for i := range s {
+		if lower[i] || upper[i] || s[i] == 0 {
+			continue
+		}
+		var t float64
+		if s[i] > 0 {
+			t = (p.alpha(i) - rates[i]) / s[i]
+		} else {
+			t = -rates[i] / s[i]
+		}
+		if t < tMax {
+			tMax = t
+			blocking = i
+		}
+	}
+	if math.IsInf(tMax, 1) {
+		return 0, -1
+	}
+	return tMax, blocking
+}
+
+// lineSearch maximizes φ(t) = Objective(rates + t·s) over [0, tMax]. φ
+// is concave along s (strictly, under the linear rate model), so φ' is
+// decreasing: if φ'(tMax) ≥ 0 the maximum is at tMax (hit the blocking
+// constraint); otherwise the unique interior root of φ' is found by
+// safeguarded Newton (bisection fallback keeps the bracket valid even
+// under the exact rate model, where φ can be mildly non-concave).
+func lineSearch(p *Problem, rates, s []float64, tMax float64, opt Options) (t float64, hitMax bool) {
+	d1End, _ := p.lineDerivs(rates, s, tMax)
+	if d1End >= 0 {
+		return tMax, true
+	}
+	lo, hi := 0.0, tMax
+	t = tMax / 2
+	for iter := 0; iter < 100; iter++ {
+		d1, d2 := p.lineDerivs(rates, s, t)
+		if d1 > 0 {
+			lo = t
+		} else {
+			hi = t
+		}
+		if hi-lo <= 1e-14*tMax {
+			break
+		}
+		var next float64
+		if !opt.DisableNewton && d2 < 0 {
+			next = t - d1/d2
+		} else {
+			next = math.NaN()
+		}
+		if !(next > lo && next < hi) {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-t) <= 1e-15*tMax {
+			t = next
+			break
+		}
+		t = next
+	}
+	return t, false
+}
+
+// finish assembles the Solution at the terminal point.
+func finish(p *Problem, rates, g []float64, lower, upper []bool, stats Stats, converged bool) *Solution {
+	stats.Converged = converged
+	lambda := projectionLambda(p, g, lower, upper)
+	if countFree(lower, upper) == 0 {
+		// λ is only interval-constrained at a vertex; report the midpoint
+		// of the feasible interval (clamped to finite values).
+		loLam, hiLam := math.Inf(-1), math.Inf(1)
+		for i := range g {
+			r := g[i] / p.Loads[i]
+			if upper[i] {
+				loLam = math.Max(loLam, r)
+			}
+			if lower[i] {
+				hiLam = math.Min(hiLam, r)
+			}
+		}
+		switch {
+		case !math.IsInf(loLam, 0) && !math.IsInf(hiLam, 0):
+			lambda = (loLam + hiLam) / 2
+		case !math.IsInf(loLam, 0):
+			lambda = loLam
+		case !math.IsInf(hiLam, 0):
+			lambda = hiLam
+		}
+	}
+	sol := &Solution{
+		Rates:     append([]float64(nil), rates...),
+		Objective: p.Objective(rates),
+		Rho:       p.EffectiveRates(rates),
+		Lambda:    lambda,
+		LowerMult: make([]float64, len(rates)),
+		UpperMult: make([]float64, len(rates)),
+		Stats:     stats,
+	}
+	sol.Utilities = make([]float64, len(p.Pairs))
+	for k, pr := range p.Pairs {
+		sol.Utilities[k] = pr.Utility.Value(sol.Rho[k])
+	}
+	for i := range rates {
+		if lower[i] {
+			sol.LowerMult[i] = lambda*p.Loads[i] - g[i]
+		}
+		if upper[i] {
+			sol.UpperMult[i] = g[i] - lambda*p.Loads[i]
+		}
+	}
+	return sol
+}
+
+func normInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSREPaperFigure1Values(t *testing.T) {
+	// The paper's Figure 1 annotates the stitching points:
+	// c = 0.002   → x₀ ≈ 0.005988, M(x₀) ≈ 0.668
+	// c ≈ 0.000667 → x₀ ≈ 0.002,   M(x₀) ≈ 0.667
+	u1 := MustSRE(0.002)
+	if math.Abs(u1.X0-0.0059880239) > 1e-8 {
+		t.Fatalf("x0(c=0.002) = %v, want ≈0.0059880", u1.X0)
+	}
+	if got := u1.Value(u1.X0); math.Abs(got-0.668) > 0.0005 {
+		t.Fatalf("M(x0) = %v, want ≈0.668", got)
+	}
+	u2 := MustSRE(1.0 / 1500)
+	if math.Abs(u2.X0-0.002) > 2e-5 {
+		t.Fatalf("x0(c=1/1500) = %v, want ≈0.002", u2.X0)
+	}
+	if got := u2.Value(u2.X0); math.Abs(got-0.667) > 0.0005 {
+		t.Fatalf("M(x0) = %v, want ≈0.667", got)
+	}
+	// The stitch value is 2(1+c)/3 exactly.
+	for _, c := range []float64{0.0001, 0.002, 0.05, 0.5} {
+		u := MustSRE(c)
+		want := 2 * (1 + c) / 3
+		if got := u.Value(u.X0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("M(x0) for c=%v: %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestSREZeroAtOrigin(t *testing.T) {
+	for _, c := range []float64{0.0005, 0.002, 0.1, 1} {
+		u := MustSRE(c)
+		if got := u.Value(0); got != 0 {
+			t.Fatalf("M(0) = %v for c=%v", got, c)
+		}
+		// The quadratic branch must hit zero smoothly: tiny rho, tiny value.
+		if got := u.Value(1e-9); got < 0 || got > 1e-3 {
+			t.Fatalf("M(1e-9) = %v for c=%v", got, c)
+		}
+	}
+}
+
+func TestSREInvalidC(t *testing.T) {
+	for _, c := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := NewSRE(c); err == nil {
+			t.Fatalf("NewSRE(%v) accepted", c)
+		}
+	}
+}
+
+func TestSREContinuityAtStitch(t *testing.T) {
+	for _, c := range []float64{0.0007, 0.002, 0.05} {
+		u := MustSRE(c)
+		eps := u.X0 * 1e-7
+		below, above := u.Value(u.X0-eps), u.Value(u.X0+eps)
+		if math.Abs(below-above) > 1e-6 {
+			t.Fatalf("c=%v: value jump at x0: %v vs %v", c, below, above)
+		}
+		db, da := u.Deriv(u.X0-eps), u.Deriv(u.X0+eps)
+		if math.Abs(db-da)/da > 1e-4 {
+			t.Fatalf("c=%v: derivative jump at x0: %v vs %v", c, db, da)
+		}
+		cb, ca := u.Curv(u.X0-eps), u.Curv(u.X0+eps)
+		if math.Abs(cb-ca)/math.Abs(ca) > 1e-4 {
+			t.Fatalf("c=%v: curvature jump at x0: %v vs %v", c, cb, ca)
+		}
+	}
+}
+
+func TestSREIncreasingConcave(t *testing.T) {
+	for _, c := range []float64{0.0005, 0.002, 0.1} {
+		u := MustSRE(c)
+		prev := u.Value(0)
+		for i := 1; i <= 2000; i++ {
+			rho := float64(i) / 2000
+			v := u.Value(rho)
+			if v <= prev {
+				t.Fatalf("c=%v: M not strictly increasing at ρ=%v", c, rho)
+			}
+			prev = v
+			if u.Deriv(rho) <= 0 {
+				t.Fatalf("c=%v: M' ≤ 0 at ρ=%v", c, rho)
+			}
+			if u.Curv(rho) >= 0 {
+				t.Fatalf("c=%v: M'' ≥ 0 at ρ=%v", c, rho)
+			}
+		}
+	}
+}
+
+func TestSREDerivMatchesFiniteDifference(t *testing.T) {
+	u := MustSRE(0.002)
+	for _, rho := range []float64{0.001, 0.004, u.X0, 0.01, 0.1, 0.8} {
+		h := 1e-7 * (1 + rho)
+		fd := (u.Value(rho+h) - u.Value(rho-h)) / (2 * h)
+		if d := u.Deriv(rho); math.Abs(fd-d)/d > 1e-4 {
+			t.Fatalf("ρ=%v: Deriv=%v, finite diff=%v", rho, d, fd)
+		}
+		fd2 := (u.Deriv(rho+h) - u.Deriv(rho-h)) / (2 * h)
+		if cv := u.Curv(rho); math.Abs(fd2-cv)/math.Abs(cv) > 1e-3 {
+			t.Fatalf("ρ=%v: Curv=%v, finite diff=%v", rho, cv, fd2)
+		}
+	}
+}
+
+func TestSREValueAtOne(t *testing.T) {
+	// Sampling everything: zero error, accuracy 1.
+	u := MustSRE(0.01)
+	if got := u.Value(1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("M(1) = %v", got)
+	}
+	if got := u.ExpectedSRE(1); got != 0 {
+		t.Fatalf("E[SRE](1) = %v", got)
+	}
+}
+
+func TestExpectedSRE(t *testing.T) {
+	u := MustSRE(0.002)
+	if !math.IsInf(u.ExpectedSRE(0), 1) {
+		t.Fatal("E[SRE](0) should be +Inf")
+	}
+	// Hand value: (1-0.01)/0.01 * 0.002 = 0.198.
+	if got := u.ExpectedSRE(0.01); math.Abs(got-0.198) > 1e-12 {
+		t.Fatalf("E[SRE](0.01) = %v", got)
+	}
+	// M = 1 - E[SRE] on the analytic branch.
+	if got := u.Value(0.01); math.Abs(got-(1-0.198)) > 1e-12 {
+		t.Fatalf("M(0.01) = %v", got)
+	}
+}
+
+func TestRateForUtilityRoundTrip(t *testing.T) {
+	u := MustSRE(0.002)
+	for _, m := range []float64{0.5, 0.8, 0.9, 0.99} {
+		rho, err := u.RateForUtility(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho < u.X0 {
+			continue // quadratic branch: inverse is of the analytic branch by design
+		}
+		if got := u.Value(rho); math.Abs(got-m) > 1e-12 {
+			t.Fatalf("M(RateForUtility(%v)) = %v", m, got)
+		}
+	}
+	for _, m := range []float64{0, 1, -1, 2} {
+		if _, err := u.RateForUtility(m); err == nil {
+			t.Fatalf("RateForUtility(%v) accepted", m)
+		}
+	}
+}
+
+func TestMustSREPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSRE(0) did not panic")
+		}
+	}()
+	MustSRE(0)
+}

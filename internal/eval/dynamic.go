@@ -1,0 +1,254 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"netsamp/internal/core"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+	"netsamp/internal/rng"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+	"netsamp/internal/traffic"
+)
+
+// DynamicStudy quantifies the paper's motivating claim (Section I):
+// "short term variations due to failures and other anomalous events as
+// well as longer term variations … quickly make a static placement of
+// traffic monitors perform sub-optimally."
+//
+// Over a sequence of measurement intervals the background traffic
+// follows a diurnal cycle with noise, the JANET demands jitter, one
+// interval carries a traffic anomaly (the smallest OD pair collapses),
+// and midway a core circuit fails and re-routes traffic. Two operators
+// are compared:
+//
+//   - static: computes the optimal plan once, at interval 0, and keeps it;
+//   - dynamic: re-optimizes every interval (the paper's proposal —
+//     router-embedded monitors make re-activation free).
+//
+// The study reports each operator's worst-pair utility per interval and
+// the monitor-set churn of the dynamic plan.
+
+// DynamicPoint is one interval of the study.
+type DynamicPoint struct {
+	Interval int
+	// StaticObj and DynamicObj are the sum-of-utilities objectives of
+	// the stale interval-0 plan and the re-optimized plan under the
+	// interval's conditions. The re-optimized plan is the optimum, so
+	// DynamicObj >= StaticObj whenever the stale plan stays within
+	// budget.
+	StaticObj, DynamicObj float64
+	// StaticWorst and DynamicWorst are the corresponding worst-pair
+	// utilities (reported for the fairness picture).
+	StaticWorst, DynamicWorst float64
+	// StaticSpend is the sampled packet rate the stale plan consumes
+	// under the interval's loads, relative to the budget (1 = exactly
+	// θ). Traffic growth makes a static plan silently overspend its
+	// resource cap; decay strands capacity.
+	StaticSpend float64
+	// Churn is the number of monitor activations plus deactivations
+	// relative to the previous interval's dynamic plan.
+	Churn int
+	// Failed reports whether the failure event is active.
+	Failed bool
+	// Anomaly reports whether the traffic anomaly is active.
+	Anomaly bool
+}
+
+// DynamicResult aggregates the study.
+type DynamicResult struct {
+	Points []DynamicPoint
+	// MeanStaticObj and MeanDynamicObj average the objectives.
+	MeanStaticObj, MeanDynamicObj float64
+	// MinStaticWorst and MinDynamicWorst are the worst worst-pair
+	// utilities over the run.
+	MinStaticWorst, MinDynamicWorst float64
+	// MaxStaticOverspend is the largest StaticSpend observed (> 1 means
+	// the stale plan exceeded the resource cap).
+	MaxStaticOverspend float64
+	// TotalChurn sums monitor-set changes across the run.
+	TotalChurn int
+}
+
+// DynamicStudy runs the study for the given number of intervals at
+// θ packets per interval.
+func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) (*DynamicResult, error) {
+	if intervals <= 0 {
+		intervals = 24
+	}
+	r := rng.New(seed)
+	profile := traffic.Diurnal{Period: intervals, Trough: 0.5, Peak: 1.2, Noise: 0.1}
+	budget := core.BudgetPerInterval(theta, Interval)
+	failAt := intervals / 2
+	anomalyAt := intervals / 3
+
+	// The failure: take down the FR-CH circuit (both directions).
+	frch, ok := s.Graph.FindLink(s.Graph.MustNode("FR"), s.Graph.MustNode("CH"))
+	if !ok {
+		return nil, fmt.Errorf("eval: FR->CH missing from scenario")
+	}
+	chfr, _ := s.Graph.FindLink(s.Graph.MustNode("CH"), s.Graph.MustNode("FR"))
+	defer func() {
+		s.Graph.SetDown(frch, false)
+		s.Graph.SetDown(chfr, false)
+	}()
+
+	res := &DynamicResult{MinStaticWorst: math.Inf(1), MinDynamicWorst: math.Inf(1)}
+	var staticPlan map[topology.LinkID]float64
+	var prevDynamic map[topology.LinkID]float64
+
+	for t := 0; t < intervals; t++ {
+		failed := t >= failAt
+		anomaly := t == anomalyAt
+		s.Graph.SetDown(frch, failed)
+		s.Graph.SetDown(chfr, failed)
+
+		// Current routing and candidate set.
+		tbl := routing.ComputeTable(s.Graph)
+		matrix, err := routing.BuildMatrix(tbl, s.Pairs)
+		if err != nil {
+			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+		}
+		var candidates []topology.LinkID
+		for _, lid := range matrix.LinkSet() {
+			if !s.Graph.Link(lid).Access {
+				candidates = append(candidates, lid)
+			}
+		}
+
+		// Current traffic: diurnal background, jittered JANET demands.
+		factor := profile.Factor(t, r)
+		rates := make([]float64, len(s.Rates))
+		for k := range rates {
+			rates[k] = s.Rates[k] * r.LogNormal(0, 0.15)
+		}
+		if anomaly {
+			rates[len(rates)-1] *= 0.1 // the smallest pair collapses
+		}
+		demands := &traffic.Matrix{}
+		for _, d := range s.Demands.Demands {
+			nd := d
+			isJANET := false
+			for k, pr := range s.Pairs {
+				if d.Pair.Name == pr.Name {
+					nd.Rate = rates[k]
+					isJANET = true
+					break
+				}
+			}
+			if !isJANET {
+				nd.Rate *= factor
+			}
+			demands.Demands = append(demands.Demands, nd)
+		}
+		loads, err := traffic.LinkLoads(s.Graph, tbl, demands)
+		if err != nil {
+			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+		}
+		inv := make([]float64, len(rates))
+		for k := range rates {
+			inv[k] = math.Min(1, 1/(rates[k]*Interval))
+		}
+
+		// Dynamic operator: re-optimize now.
+		prob, _, err := plan.Build(plan.Input{
+			Matrix: matrix, Loads: loads, Candidates: candidates,
+			InvMeanSizes: inv, Budget: budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+		}
+		sol, err := core.Solve(prob, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+		}
+		dynamicPlan := plan.RatesByLink(sol, candidates)
+
+		// Static operator: the interval-0 plan, evaluated under today's
+		// routing, traffic and utilities.
+		if t == 0 {
+			staticPlan = dynamicPlan
+		}
+		evaluate := func(assign map[topology.LinkID]float64) (obj, worst float64) {
+			rho := plan.EffectiveRates(matrix, assign, false)
+			worst = math.Inf(1)
+			for k := range rho {
+				u := core.MustSRE(inv[k]).Value(rho[k])
+				obj += u
+				if u < worst {
+					worst = u
+				}
+			}
+			return obj, worst
+		}
+		point := DynamicPoint{
+			Interval:    t,
+			Failed:      failed,
+			Anomaly:     anomaly,
+			StaticSpend: plan.SampledRate(staticPlan, loads) / budget,
+		}
+		point.StaticObj, point.StaticWorst = evaluate(staticPlan)
+		point.DynamicObj, point.DynamicWorst = evaluate(dynamicPlan)
+		if prevDynamic != nil {
+			point.Churn = planChurn(prevDynamic, dynamicPlan)
+		}
+		prevDynamic = dynamicPlan
+		res.Points = append(res.Points, point)
+		res.MeanStaticObj += point.StaticObj
+		res.MeanDynamicObj += point.DynamicObj
+		res.MinStaticWorst = math.Min(res.MinStaticWorst, point.StaticWorst)
+		res.MinDynamicWorst = math.Min(res.MinDynamicWorst, point.DynamicWorst)
+		res.MaxStaticOverspend = math.Max(res.MaxStaticOverspend, point.StaticSpend)
+		res.TotalChurn += point.Churn
+	}
+	n := float64(len(res.Points))
+	res.MeanStaticObj /= n
+	res.MeanDynamicObj /= n
+	return res, nil
+}
+
+// planChurn counts activations + deactivations between two plans.
+func planChurn(prev, next map[topology.LinkID]float64) int {
+	churn := 0
+	for lid := range next {
+		if _, ok := prev[lid]; !ok {
+			churn++
+		}
+	}
+	for lid := range prev {
+		if _, ok := next[lid]; !ok {
+			churn++
+		}
+	}
+	return churn
+}
+
+// RenderDynamic writes the study as a per-interval table.
+func RenderDynamic(w io.Writer, r *DynamicResult) error {
+	if _, err := fmt.Fprintf(w, "Dynamic re-optimization study (%d intervals of %.0f s)\n\n", len(r.Points), Interval); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s | %11s %11s | %11s %11s | %7s %6s %s\n",
+		"interval", "static obj", "dyn obj", "static wrst", "dyn wrst", "spend", "churn", "events")
+	fmt.Fprintln(w, strings.Repeat("-", 94))
+	for _, p := range r.Points {
+		events := ""
+		if p.Anomaly {
+			events += " anomaly"
+		}
+		if p.Failed {
+			events += " link-down"
+		}
+		fmt.Fprintf(w, "%8d | %11.4f %11.4f | %11.4f %11.4f | %6.2fx %6d%s\n",
+			p.Interval, p.StaticObj, p.DynamicObj, p.StaticWorst, p.DynamicWorst, p.StaticSpend, p.Churn, events)
+	}
+	fmt.Fprintf(w, "\nmean objective:  static %.4f, re-optimized %.4f\n", r.MeanStaticObj, r.MeanDynamicObj)
+	fmt.Fprintf(w, "worst pair over run: static %.4f, re-optimized %.4f\n", r.MinStaticWorst, r.MinDynamicWorst)
+	fmt.Fprintf(w, "stale plan peak budget use: %.2fx of cap; dynamic plan churn: %d changes\n",
+		r.MaxStaticOverspend, r.TotalChurn)
+	return nil
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"netsamp/internal/core"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+	"netsamp/internal/rng"
+	"netsamp/internal/routing"
+	"netsamp/internal/sampling"
+	"netsamp/internal/tomo"
+)
+
+// TMStudy quantifies the paper's motivating comparison (Section I): SNMP
+// aggregate counters versus sampled NetFlow for estimating traffic
+// demands. Three estimators of the 20 JANET OD-pair sizes compete:
+//
+//   - gravity: per-node totals only (no routing, no sampling);
+//   - tomogravity: gravity corrected to reproduce the observed link
+//     loads (the Zhang et al. approach the paper cites in Section II);
+//   - sampled: the paper's method — the optimizer's sampling plan at θ,
+//     simulated and renormalized.
+//
+// Aggregate counters cannot separate a 20 pkt/s OD pair from the
+// thousands of pkt/s sharing its links; sampling at the right place can.
+type TMResult struct {
+	Theta float64
+	Pairs []string
+	Truth []float64 // pkt/s
+	// Accuracy per pair, 1−|est−truth|/truth clamped at 0.
+	GravityAcc, TomoAcc, SampledAcc []float64
+	// Means over pairs.
+	MeanGravity, MeanTomo, MeanSampled float64
+	// Worst pair of each estimator.
+	MinGravity, MinTomo, MinSampled float64
+}
+
+// TMStudy runs the comparison at θ packets per interval with the given
+// number of sampling trials per pair.
+func TMStudy(s *geant.Scenario, theta float64, trials int, seed uint64) (*TMResult, error) {
+	// Estimate the FULL traffic matrix from link loads; score only the
+	// JANET pairs (the measurement task).
+	allPairs := make([]routing.ODPair, len(s.Demands.Demands))
+	truthAll := make([]float64, len(s.Demands.Demands))
+	for i, d := range s.Demands.Demands {
+		allPairs[i] = d.Pair
+		truthAll[i] = d.Rate
+	}
+	matrix, err := routing.BuildMatrix(s.Table, allPairs)
+	if err != nil {
+		return nil, err
+	}
+	origins, dests, err := tomo.Totals(s.Graph.NumNodes(), allPairs, truthAll)
+	if err != nil {
+		return nil, err
+	}
+	prior, err := tomo.Gravity(allPairs, origins, dests)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := tomo.Tomogravity(tomo.Instance{
+		Matrix:   matrix,
+		Loads:    s.Loads,
+		NumNodes: s.Graph.NumNodes(),
+	}, prior, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// The sampled estimator: Table I's plan at θ.
+	budget := core.BudgetPerInterval(theta, Interval)
+	prob, _, err := plan.Build(plan.Input{
+		Matrix:       s.Matrix,
+		Loads:        s.Loads,
+		Candidates:   s.MonitorLinks,
+		InvMeanSizes: s.UtilityParams(Interval),
+		Budget:       budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(prob, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Index JANET pairs within the all-pairs list.
+	index := make(map[string]int, len(allPairs))
+	for i, p := range allPairs {
+		index[p.Name] = i
+	}
+	r := rng.New(seed)
+	sizes := s.PairSizes(Interval)
+	res := &TMResult{
+		Theta:      theta,
+		MinGravity: math.Inf(1), MinTomo: math.Inf(1), MinSampled: math.Inf(1),
+	}
+	for k, pr := range s.Pairs {
+		i, ok := index[pr.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: pair %q missing from demand set", pr.Name)
+		}
+		truth := truthAll[i]
+		acc := func(est float64) float64 {
+			a := 1 - math.Abs(est-truth)/truth
+			if a < 0 {
+				return 0
+			}
+			return a
+		}
+		exp, err := sampling.Experiment(pr.Name, sizes[k], sol.Rho[k], trials, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		ga, ta, sa := acc(prior[i]), acc(tg[i]), exp.MeanAccuracy
+		res.Pairs = append(res.Pairs, pr.Name)
+		res.Truth = append(res.Truth, truth)
+		res.GravityAcc = append(res.GravityAcc, ga)
+		res.TomoAcc = append(res.TomoAcc, ta)
+		res.SampledAcc = append(res.SampledAcc, sa)
+		res.MeanGravity += ga
+		res.MeanTomo += ta
+		res.MeanSampled += sa
+		res.MinGravity = math.Min(res.MinGravity, ga)
+		res.MinTomo = math.Min(res.MinTomo, ta)
+		res.MinSampled = math.Min(res.MinSampled, sa)
+	}
+	n := float64(len(res.Pairs))
+	res.MeanGravity /= n
+	res.MeanTomo /= n
+	res.MeanSampled /= n
+	return res, nil
+}
+
+// RenderTM writes the comparison table.
+func RenderTM(w io.Writer, r *TMResult) error {
+	if _, err := fmt.Fprintf(w,
+		"Traffic-matrix estimation: SNMP counters vs optimized sampling (θ = %.0f)\n\n", r.Theta); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %12s %10s\n", "OD pair", "pkt/s", "gravity", "tomogravity", "sampled")
+	fmt.Fprintln(w, strings.Repeat("-", 58))
+	for k, name := range r.Pairs {
+		fmt.Fprintf(w, "%-12s %10.0f %10.4f %12.4f %10.4f\n",
+			name, r.Truth[k], r.GravityAcc[k], r.TomoAcc[k], r.SampledAcc[k])
+	}
+	fmt.Fprintf(w, "\nmean accuracy:  gravity %.4f, tomogravity %.4f, sampled %.4f\n",
+		r.MeanGravity, r.MeanTomo, r.MeanSampled)
+	fmt.Fprintf(w, "worst pair:     gravity %.4f, tomogravity %.4f, sampled %.4f\n",
+		r.MinGravity, r.MinTomo, r.MinSampled)
+	fmt.Fprintln(w, "\nAggregate link counters cannot separate a 20 pkt/s OD pair from")
+	fmt.Fprintln(w, "the thousands of pkt/s sharing its links; targeted sampling can —")
+	fmt.Fprintln(w, "the paper's argument for network-wide sampled NetFlow.")
+	return nil
+}

@@ -1,0 +1,264 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNotSPD is returned by Cholesky when the matrix is not symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, element (i,j) at Data[i*Cols+j]
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns an independent copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns m^T as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v. It panics on dimension mismatch.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns m * b as a new matrix. It panics on dimension mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// LU is an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu   *Matrix // packed L (unit diagonal, below) and U (diagonal and above)
+	piv  []int   // row permutation
+	sign int     // determinant sign of the permutation
+}
+
+// FactorLU computes the LU factorization of the square matrix a with
+// partial pivoting. a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: FactorLU needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the largest magnitude in this column.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[col*n+j] = lu.Data[col*n+j], lu.Data[p*n+j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		d := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / d
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu.Data[r*n+j] -= f * lu.Data[col*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve returns x with A*x = b for the factored A.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: LU.Solve dimension mismatch %d vs %d", len(b), n)
+	}
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A*x = b for square A using LU with partial pivoting.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Cholesky is the lower-triangular factor L of a symmetric positive
+// definite matrix A = L*L^T.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive-definite matrix a (only the lower triangle of a is read).
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: FactorCholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns x with A*x = b for the factored SPD matrix A.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	n := c.l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Cholesky.Solve dimension mismatch %d vs %d", len(b), n)
+	}
+	// Forward: L*y = b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * y[j]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Backward: L^T*x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,250 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// small linear programs. Go has no mainstream LP library and this
+// repository is stdlib-only, so the solver is written here; the
+// instances it faces (one variable per candidate monitor link, one
+// constraint per OD pair plus bounds) are tiny, making a dense tableau
+// with Bland's anti-cycling rule entirely adequate.
+//
+// The driving application is the certified max-min solver
+// (core.SolveMaxMinExact): for a candidate worst-pair utility target the
+// cheapest rate vector reaching it is a linear program; bisection on the
+// target then pins the exact max-min optimum.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int8
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ a_j x_j ≤ b
+	GE            // Σ a_j x_j ≥ b
+	EQ            // Σ a_j x_j = b
+)
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+const eps = 1e-9
+
+// Solve minimizes c·x subject to A x (rel) b and x ≥ 0, using the
+// two-phase primal simplex method with Bland's rule. It returns the
+// optimal x and objective when Status == Optimal.
+func Solve(c []float64, a [][]float64, rel []Rel, b []float64) ([]float64, float64, Status, error) {
+	m, n := len(a), len(c)
+	if len(rel) != m || len(b) != m {
+		return nil, 0, Infeasible, fmt.Errorf("lp: %d rows, %d relations, %d rhs", m, len(rel), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, Infeasible, fmt.Errorf("lp: row %d has %d coefficients for %d variables", i, len(a[i]), n)
+		}
+	}
+	// Normalize to b ≥ 0 by flipping rows.
+	rows := make([][]float64, m)
+	relN := make([]Rel, m)
+	rhs := make([]float64, m)
+	for i := range a {
+		rows[i] = append([]float64(nil), a[i]...)
+		relN[i] = rel[i]
+		rhs[i] = b[i]
+		if rhs[i] < 0 {
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			rhs[i] = -rhs[i]
+			switch relN[i] {
+			case LE:
+				relN[i] = GE
+			case GE:
+				relN[i] = LE
+			}
+		}
+	}
+	// Column layout: n structural | slacks/surpluses | artificials.
+	nSlack := 0
+	for _, r := range relN {
+		if r != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range relN {
+		if r != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows × (total+1), last column is the RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artOf := make([]int, 0, nArt)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		copy(t[i], rows[i])
+		t[i][total] = rhs[i]
+		switch relN[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artOf = append(artOf, artCol)
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artOf = append(artOf, artCol)
+			artCol++
+		}
+	}
+
+	pivot := func(row, col int) {
+		p := t[row][col]
+		for j := range t[row] {
+			t[row][j] /= p
+		}
+		for i := range t {
+			if i == row || t[i][col] == 0 {
+				continue
+			}
+			f := t[i][col]
+			for j := range t[i] {
+				t[i][j] -= f * t[row][j]
+			}
+		}
+		basis[row] = col
+	}
+
+	// simplex runs Bland's-rule iterations minimizing obj (a cost row
+	// over the current tableau). allowed bounds the columns considered.
+	simplex := func(cost []float64, allowed int) Status {
+		// Reduced cost row z_j - c_j maintained implicitly: compute from
+		// scratch each iteration (instances are tiny; clarity wins).
+		for iter := 0; iter < 10000; iter++ {
+			// cB = cost of basic variables.
+			enter := -1
+			for j := 0; j < allowed; j++ {
+				// reduced cost r_j = c_j - Σ_i cB_i * t[i][j]
+				r := cost[j]
+				for i := 0; i < m; i++ {
+					if cb := cost[basis[i]]; cb != 0 {
+						r -= cb * t[i][j]
+					}
+				}
+				if r < -eps {
+					enter = j // Bland: first improving column
+					break
+				}
+			}
+			if enter < 0 {
+				return Optimal
+			}
+			leave := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][enter] > eps {
+					ratio := t[i][total] / t[i][enter]
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+						best = ratio
+						leave = i
+					}
+				}
+			}
+			if leave < 0 {
+				return Unbounded
+			}
+			pivot(leave, enter)
+		}
+		return Unbounded // cycling guard; unreachable with Bland's rule
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		cost1 := make([]float64, total)
+		for _, j := range artOf {
+			cost1[j] = 1
+		}
+		if st := simplex(cost1, total); st != Optimal {
+			return nil, 0, Infeasible, nil
+		}
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			for _, j := range artOf {
+				if basis[i] == j {
+					sum += t[i][total]
+				}
+			}
+		}
+		if sum > 1e-7 {
+			return nil, 0, Infeasible, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			isArt := basis[i] >= n+nSlack
+			if !isArt {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real columns: redundant
+				// constraint; leave the artificial at value 0.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective over real columns only.
+	cost2 := make([]float64, total)
+	copy(cost2, c)
+	if st := simplex(cost2, n+nSlack); st != Optimal {
+		return nil, 0, Unbounded, nil
+	}
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, Optimal, nil
+}

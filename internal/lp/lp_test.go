@@ -1,0 +1,218 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/rng"
+)
+
+func solveOK(t *testing.T, c []float64, a [][]float64, rel []Rel, b []float64) ([]float64, float64) {
+	t.Helper()
+	x, obj, st, err := Solve(c, a, rel, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Optimal {
+		t.Fatalf("status = %v", st)
+	}
+	return x, obj
+}
+
+func TestSolveKnownLE(t *testing.T) {
+	// maximize 3x+5y s.t. x≤4, 2y≤12, 3x+2y≤18 (classic Dantzig example)
+	// → minimize -3x-5y; optimum x=2, y=6, obj=-36.
+	x, obj := solveOK(t,
+		[]float64{-3, -5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]Rel{LE, LE, LE},
+		[]float64{4, 12, 18},
+	)
+	if math.Abs(obj+36) > 1e-9 || math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-6) > 1e-9 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestSolveKnownGE(t *testing.T) {
+	// minimize 2x+3y s.t. x+y ≥ 10, x ≥ 2 → x=10-y... cheapest: put all
+	// weight on x (cost 2): x=10, y=0, obj=20.
+	x, obj := solveOK(t,
+		[]float64{2, 3},
+		[][]float64{{1, 1}, {1, 0}},
+		[]Rel{GE, GE},
+		[]float64{10, 2},
+	)
+	if math.Abs(obj-20) > 1e-9 || math.Abs(x[0]-10) > 1e-9 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// minimize x+2y s.t. x+y = 5, y ≥ 1 → x=4, y=1, obj=6.
+	x, obj := solveOK(t,
+		[]float64{1, 2},
+		[][]float64{{1, 1}, {0, 1}},
+		[]Rel{EQ, GE},
+		[]float64{5, 1},
+	)
+	if math.Abs(obj-6) > 1e-9 || math.Abs(x[0]-4) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// minimize x s.t. -x ≤ -3 (i.e. x ≥ 3) → x=3.
+	x, obj := solveOK(t,
+		[]float64{1},
+		[][]float64{{-1}},
+		[]Rel{LE},
+		[]float64{-3},
+	)
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(obj-3) > 1e-9 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2.
+	_, _, st, err := Solve(
+		[]float64{1},
+		[][]float64{{1}, {1}},
+		[]Rel{LE, GE},
+		[]float64{1, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Infeasible {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x s.t. x ≥ 0 only.
+	_, _, st, err := Solve(
+		[]float64{-1},
+		[][]float64{{1}},
+		[]Rel{GE},
+		[]float64{0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unbounded {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, _, _, err := Solve([]float64{1}, [][]float64{{1, 2}}, []Rel{LE}, []float64{1}); err == nil {
+		t.Fatal("bad row width accepted")
+	}
+	if _, _, _, err := Solve([]float64{1}, [][]float64{{1}}, []Rel{LE}, []float64{1, 2}); err == nil {
+		t.Fatal("bad rhs length accepted")
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints (equal rows) must not break phase 1.
+	x, obj := solveOK(t,
+		[]float64{1, 1},
+		[][]float64{{1, 1}, {1, 1}, {1, 0}},
+		[]Rel{GE, GE, GE},
+		[]float64{4, 4, 1},
+	)
+	if math.Abs(obj-4) > 1e-9 || x[0] < 1-1e-9 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings wrong")
+	}
+	if Status(9).String() != "unknown" {
+		t.Fatal("unknown status string wrong")
+	}
+}
+
+// TestSolveAgainstVertexEnumeration cross-checks the simplex on random
+// 2-variable LPs against brute-force enumeration of constraint-
+// intersection vertices.
+func TestSolveAgainstVertexEnumeration(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 300; trial++ {
+		n := 2
+		m := 2 + r.Intn(4)
+		c := []float64{1 + 4*r.Float64(), 1 + 4*r.Float64()} // positive costs
+		a := make([][]float64, m)
+		rel := make([]Rel, m)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a[i] = []float64{r.Float64() * 2, r.Float64() * 2}
+			rel[i] = GE
+			b[i] = 0.5 + 2*r.Float64()
+			if a[i][0]+a[i][1] < 0.2 {
+				a[i][0] += 0.3 // avoid near-empty rows (keeps LP feasible)
+			}
+		}
+		x, obj, st, err := Solve(c, a, rel, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != Optimal {
+			// All-GE with positive coefficients is always feasible.
+			t.Fatalf("trial %d: status %v", trial, st)
+		}
+		// Feasibility of the returned point.
+		for i := 0; i < m; i++ {
+			lhs := a[i][0]*x[0] + a[i][1]*x[1]
+			if lhs < b[i]-1e-7 {
+				t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, i, lhs, b[i])
+			}
+		}
+		if x[0] < -1e-9 || x[1] < -1e-9 {
+			t.Fatalf("trial %d: negative solution %v", trial, x)
+		}
+		// Brute force: candidate vertices are intersections of all pairs
+		// of active constraints (including the axes x_j = 0).
+		type line struct{ a0, a1, b float64 }
+		var lines []line
+		for i := 0; i < m; i++ {
+			lines = append(lines, line{a[i][0], a[i][1], b[i]})
+		}
+		lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+		best := math.Inf(1)
+		feasible := func(p0, p1 float64) bool {
+			if p0 < -1e-9 || p1 < -1e-9 {
+				return false
+			}
+			for i := 0; i < m; i++ {
+				if a[i][0]*p0+a[i][1]*p1 < b[i]-1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i].a0*lines[j].a1 - lines[i].a1*lines[j].a0
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				p0 := (lines[i].b*lines[j].a1 - lines[i].a1*lines[j].b) / det
+				p1 := (lines[i].a0*lines[j].b - lines[i].b*lines[j].a0) / det
+				if feasible(p0, p1) {
+					v := c[0]*p0 + c[1]*p1
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if math.Abs(obj-best) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: simplex %v, vertex enumeration %v", trial, obj, best)
+		}
+		_ = n
+	}
+}

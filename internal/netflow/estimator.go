@@ -1,0 +1,125 @@
+package netflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"netsamp/internal/packet"
+	"netsamp/internal/prefix"
+)
+
+// ODClassifier maps a flow key to the index of the OD pair it belongs
+// to. It returns ok = false for background traffic outside the
+// measurement task (the paper resolves the egress PoP from the
+// destination address; here the classifier encapsulates that step).
+type ODClassifier func(key packet.FiveTuple) (od int, ok bool)
+
+// Estimator is the post-processing stage of the paper's pipeline: it
+// bins collected flow records into measurement intervals by their start
+// time (Section V-A), accumulates per-OD sampled packet counts, and
+// renormalizes by the effective sampling rate ρ of each OD pair to
+// produce size estimates X/ρ. It is safe for concurrent use.
+type Estimator struct {
+	interval uint32
+	rho      []float64
+	classify ODClassifier
+
+	mu   sync.Mutex
+	bins map[uint32][]uint64 // bin start → per-OD sampled packets
+}
+
+// NewEstimator builds an estimator for len(rho) OD pairs over
+// measurement intervals of the given length in seconds.
+func NewEstimator(intervalSeconds uint32, rho []float64, classify ODClassifier) (*Estimator, error) {
+	if intervalSeconds == 0 {
+		return nil, fmt.Errorf("netflow: zero interval")
+	}
+	if len(rho) == 0 {
+		return nil, fmt.Errorf("netflow: no OD pairs")
+	}
+	if classify == nil {
+		return nil, fmt.Errorf("netflow: nil classifier")
+	}
+	return &Estimator{
+		interval: intervalSeconds,
+		rho:      append([]float64(nil), rho...),
+		classify: classify,
+		bins:     make(map[uint32][]uint64),
+	}, nil
+}
+
+// Add accumulates one flow record. Records that do not classify to an OD
+// pair of interest are ignored.
+func (e *Estimator) Add(rec packet.Record) {
+	od, ok := e.classify(rec.Key)
+	if !ok || od < 0 || od >= len(e.rho) {
+		return
+	}
+	bin := rec.Start - rec.Start%e.interval
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	counts, ok := e.bins[bin]
+	if !ok {
+		counts = make([]uint64, len(e.rho))
+		e.bins[bin] = counts
+	}
+	counts[od] += rec.Packets
+}
+
+// AddBatch accumulates every record of a collected batch.
+func (e *Estimator) AddBatch(b Batch) {
+	for _, rec := range b.Records {
+		e.Add(rec)
+	}
+}
+
+// BinEstimate holds the per-OD estimates of one measurement interval.
+type BinEstimate struct {
+	Start uint32
+	// Sampled[k] is the raw sampled packet count of OD pair k.
+	Sampled []uint64
+	// Estimate[k] is Sampled[k]/ρ_k, or 0 when ρ_k = 0 (unmonitored).
+	Estimate []float64
+}
+
+// Estimates returns one BinEstimate per interval, ordered by start time.
+func (e *Estimator) Estimates() []BinEstimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	starts := make([]uint32, 0, len(e.bins))
+	for s := range e.bins {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]BinEstimate, 0, len(starts))
+	for _, s := range starts {
+		counts := e.bins[s]
+		be := BinEstimate{
+			Start:    s,
+			Sampled:  append([]uint64(nil), counts...),
+			Estimate: make([]float64, len(counts)),
+		}
+		for k, c := range counts {
+			if e.rho[k] > 0 {
+				be.Estimate[k] = float64(c) / e.rho[k]
+			}
+		}
+		out = append(out, be)
+	}
+	return out
+}
+
+// PrefixClassifier builds an ODClassifier that resolves the OD pair of
+// a flow by longest-prefix match on the destination address — the
+// paper's egress-PoP resolution step ("we associate to each flow record
+// the egress PoP, computed from the destination IP address").
+func PrefixClassifier(t *prefix.Table) ODClassifier {
+	return func(key packet.FiveTuple) (int, bool) {
+		v, ok := t.Lookup(key.Dst)
+		if !ok || v < 0 {
+			return 0, false
+		}
+		return int(v), true
+	}
+}

@@ -1,0 +1,237 @@
+package netflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"netsamp/internal/packet"
+)
+
+// MaxRecordsPerDatagram keeps an export datagram within a conservative
+// 1400-byte MTU budget: 16 + 34*40 = 1376 bytes.
+const MaxRecordsPerDatagram = 34
+
+// Exporter ships flow records to a collector over UDP, batching records
+// into datagrams and stamping each datagram with a sequence number so
+// the collector can account for loss (the NetFlow v5 idiom). It is safe
+// for concurrent use.
+type Exporter struct {
+	exporterID uint32
+
+	mu     sync.Mutex
+	conn   net.Conn
+	seq    uint32
+	batch  []packet.Record
+	buf    []byte
+	sent   uint64
+	closed bool
+}
+
+// NewExporter dials the collector at addr (e.g. "127.0.0.1:9995") and
+// returns an exporter identified by exporterID.
+func NewExporter(addr string, exporterID uint32) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: dial collector: %w", err)
+	}
+	return &Exporter{
+		exporterID: exporterID,
+		conn:       conn,
+		buf:        make([]byte, 0, packet.HeaderSize+MaxRecordsPerDatagram*packet.RecordSize),
+	}, nil
+}
+
+// Export queues records and sends every full datagram. Call Flush to
+// push a final partial datagram.
+func (e *Exporter) Export(recs []packet.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("netflow: exporter closed")
+	}
+	e.batch = append(e.batch, recs...)
+	for len(e.batch) >= MaxRecordsPerDatagram {
+		if err := e.sendLocked(e.batch[:MaxRecordsPerDatagram]); err != nil {
+			return err
+		}
+		e.batch = e.batch[MaxRecordsPerDatagram:]
+	}
+	return nil
+}
+
+// Flush sends any buffered partial datagram.
+func (e *Exporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("netflow: exporter closed")
+	}
+	if len(e.batch) == 0 {
+		return nil
+	}
+	err := e.sendLocked(e.batch)
+	e.batch = e.batch[:0]
+	return err
+}
+
+func (e *Exporter) sendLocked(recs []packet.Record) error {
+	h := packet.Header{Count: uint8(len(recs)), Seq: e.seq, Exporter: e.exporterID}
+	e.buf = h.AppendTo(e.buf[:0])
+	for i := range recs {
+		e.buf = recs[i].AppendTo(e.buf)
+	}
+	if _, err := e.conn.Write(e.buf); err != nil {
+		return fmt.Errorf("netflow: export datagram: %w", err)
+	}
+	e.seq++
+	e.sent += uint64(len(recs))
+	return nil
+}
+
+// Sent returns the number of records successfully written so far.
+func (e *Exporter) Sent() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent
+}
+
+// Close flushes buffered records and releases the socket.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	var err error
+	if len(e.batch) > 0 {
+		err = e.sendLocked(e.batch)
+		e.batch = nil
+	}
+	e.closed = true
+	if cerr := e.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Batch is one decoded export datagram.
+type Batch struct {
+	Exporter uint32
+	Seq      uint32
+	Records  []packet.Record
+}
+
+// CollectorStats accounts the collector's intake.
+type CollectorStats struct {
+	Datagrams     uint64
+	Records       uint64
+	Malformed     uint64
+	LostDatagrams uint64 // sequence gaps summed over exporters
+}
+
+// Collector listens for export datagrams on UDP, decodes them and
+// delivers batches on a channel. Sequence gaps per exporter are counted
+// as lost datagrams. Close stops the read loop and closes the channel.
+type Collector struct {
+	conn *net.UDPConn
+	ch   chan Batch
+
+	mu      sync.Mutex
+	stats   CollectorStats
+	lastSeq map[uint32]uint32
+	wg      sync.WaitGroup
+}
+
+// NewCollector binds a UDP listener on addr ("127.0.0.1:0" picks an
+// ephemeral port) and starts the read loop.
+func NewCollector(addr string) (*Collector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: listen: %w", err)
+	}
+	// Routers export in bursts (timeout sweeps flush many flows at
+	// once); a generous socket buffer absorbs them. Best-effort: the
+	// kernel may clamp it, and sequence gaps surface any residual loss.
+	_ = conn.SetReadBuffer(8 << 20)
+	c := &Collector{
+		conn:    conn,
+		ch:      make(chan Batch, 256),
+		lastSeq: make(map[uint32]uint32),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address, for exporters to dial.
+func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
+
+// Batches returns the channel of decoded batches. It is closed by Close.
+func (c *Collector) Batches() <-chan Batch { return c.ch }
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close shuts the listener down and waits for the read loop to drain.
+func (c *Collector) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Collector) readLoop() {
+	defer c.wg.Done()
+	defer close(c.ch)
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		batch, ok := c.decode(buf[:n])
+		if !ok {
+			continue
+		}
+		c.ch <- batch
+	}
+}
+
+func (c *Collector) decode(b []byte) (Batch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var h packet.Header
+	if err := h.DecodeFromBytes(b); err != nil {
+		c.stats.Malformed++
+		return Batch{}, false
+	}
+	want := packet.HeaderSize + int(h.Count)*packet.RecordSize
+	if len(b) != want {
+		c.stats.Malformed++
+		return Batch{}, false
+	}
+	recs := make([]packet.Record, h.Count)
+	off := packet.HeaderSize
+	for i := range recs {
+		if err := recs[i].DecodeFromBytes(b[off:]); err != nil {
+			c.stats.Malformed++
+			return Batch{}, false
+		}
+		off += packet.RecordSize
+	}
+	if last, seen := c.lastSeq[h.Exporter]; seen && h.Seq > last+1 {
+		c.stats.LostDatagrams += uint64(h.Seq - last - 1)
+	}
+	c.lastSeq[h.Exporter] = h.Seq
+	c.stats.Datagrams++
+	c.stats.Records += uint64(h.Count)
+	return Batch{Exporter: h.Exporter, Seq: h.Seq, Records: recs}, true
+}

@@ -1,0 +1,35 @@
+package netflow
+
+import "testing"
+
+// FuzzDecodeV5: arbitrary datagrams must never panic the v5 decoder,
+// and anything that decodes must re-encode to an equal-length datagram.
+func FuzzDecodeV5(f *testing.F) {
+	good, _ := EncodeV5(V5Header{SamplingMode: 1, SamplingInterval: 100}, []V5Record{sampleV5Record()})
+	f.Add(good)
+	f.Add(make([]byte, V5HeaderSize))
+	f.Add([]byte{0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, recs, err := DecodeV5(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeV5(h, recs)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if len(out) != V5HeaderSize+int(h.Count)*V5RecordSize {
+			t.Fatalf("bad re-encoded size %d", len(out))
+		}
+	})
+}
+
+// FuzzCollectorDecode: the collector's datagram decoder must be total.
+func FuzzCollectorDecode(f *testing.F) {
+	c := &Collector{lastSeq: map[uint32]uint32{}}
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c.decode(data) // must not panic
+	})
+}

@@ -1,0 +1,144 @@
+package netflow
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"netsamp/internal/packet"
+)
+
+// Collector-side storage: the paper's pipeline exports flow records "to
+// a collector for analysis and storage". RecordWriter and RecordReader
+// stream records to and from a gzip-compressed archive using the
+// packet.Record wire codec, with a small header carrying a magic and a
+// record count for integrity checking.
+
+// storeMagic identifies netsamp record archives ("NSAR").
+var storeMagic = [4]byte{'N', 'S', 'A', 'R'}
+
+// ErrBadArchive is returned when an archive header is malformed.
+var ErrBadArchive = errors.New("netflow: not a netsamp record archive")
+
+// RecordWriter streams flow records into a compressed archive.
+type RecordWriter struct {
+	gz    *gzip.Writer
+	bw    *bufio.Writer
+	buf   []byte
+	count uint64
+}
+
+// NewRecordWriter wraps w. Close must be called to flush the stream and
+// finalize the trailer.
+func NewRecordWriter(w io.Writer) (*RecordWriter, error) {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	if _, err := bw.Write(storeMagic[:]); err != nil {
+		return nil, fmt.Errorf("netflow: write archive header: %w", err)
+	}
+	return &RecordWriter{gz: gz, bw: bw, buf: make([]byte, 0, packet.RecordSize)}, nil
+}
+
+// Write appends one record.
+func (w *RecordWriter) Write(rec packet.Record) error {
+	w.buf = rec.AppendTo(w.buf[:0])
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("netflow: write record: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *RecordWriter) Count() uint64 { return w.count }
+
+// Close writes the trailer (record count) and flushes the compressor.
+// It does not close the underlying writer.
+func (w *RecordWriter) Close() error {
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], w.count)
+	if _, err := w.bw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("netflow: write trailer: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// RecordReader streams records out of an archive produced by
+// RecordWriter.
+type RecordReader struct {
+	gz    *gzip.Reader
+	br    *bufio.Reader
+	buf   []byte
+	count uint64
+	read  uint64
+	// sized reports whether the trailer count has been consumed.
+	done bool
+}
+
+// NewRecordReader opens an archive for reading.
+func NewRecordReader(r io.Reader) (*RecordReader, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: open archive: %w", err)
+	}
+	br := bufio.NewReader(gz)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadArchive
+	}
+	if magic != storeMagic {
+		return nil, ErrBadArchive
+	}
+	return &RecordReader{gz: gz, br: br, buf: make([]byte, packet.RecordSize)}, nil
+}
+
+// Next returns the next record, or io.EOF after the last one. The
+// trailer count is verified on EOF; a mismatch (truncated archive)
+// returns ErrBadArchive.
+func (r *RecordReader) Next() (packet.Record, error) {
+	var rec packet.Record
+	if r.done {
+		return rec, io.EOF
+	}
+	// A record needs RecordSize bytes; the trailer is 8 bytes. Peek to
+	// distinguish: if fewer than RecordSize bytes remain, expect the
+	// trailer.
+	head, err := r.br.Peek(packet.RecordSize)
+	if err != nil {
+		// Fewer than RecordSize bytes left: must be exactly the trailer.
+		trailer, terr := io.ReadAll(r.br)
+		if terr != nil {
+			return rec, fmt.Errorf("netflow: read trailer: %w", terr)
+		}
+		if len(trailer) != 8 {
+			return rec, ErrBadArchive
+		}
+		r.count = binary.LittleEndian.Uint64(trailer)
+		r.done = true
+		if r.count != r.read {
+			return rec, ErrBadArchive
+		}
+		return rec, io.EOF
+	}
+	// RecordSize bytes are available, but they could still be the
+	// trailer plus the start of nothing — impossible, since the trailer
+	// is only 8 bytes and nothing follows it. Safe to decode.
+	if err := rec.DecodeFromBytes(head); err != nil {
+		return rec, err
+	}
+	if _, err := r.br.Discard(packet.RecordSize); err != nil {
+		return rec, err
+	}
+	r.read++
+	return rec, nil
+}
+
+// Close releases the decompressor. It does not close the underlying
+// reader.
+func (r *RecordReader) Close() error { return r.gz.Close() }

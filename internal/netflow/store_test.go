@@ -1,0 +1,174 @@
+package netflow
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"netsamp/internal/packet"
+)
+
+func TestRecordArchiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewRecordWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []packet.Record
+	for i := 0; i < 137; i++ {
+		rec := packet.Record{
+			Key:       key(byte(i)),
+			MonitorID: uint16(i % 7),
+			Packets:   uint64(i * 11),
+			Bytes:     uint64(i * 1500),
+			Start:     uint32(i),
+			End:       uint32(i + 30),
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	if w.Count() != 137 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRecordReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []packet.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordArchiveEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewRecordWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecordReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next on empty archive = %v", err)
+	}
+}
+
+func TestRecordArchiveBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewRecordWriter(&buf)
+	w.Write(packet.Record{Key: key(1)})
+	w.Close()
+	raw := buf.Bytes()
+	// Not gzip at all.
+	if _, err := NewRecordReader(bytes.NewReader([]byte("plain text"))); err == nil {
+		t.Fatal("non-gzip accepted")
+	}
+	_ = raw
+}
+
+func TestRecordArchiveTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewRecordWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Write(packet.Record{Key: key(byte(i)), Packets: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close with a LYING trailer by writing it manually: instead,
+	// simulate truncation by rebuilding an archive that claims more
+	// records than it holds. Easiest: write 10, close, then re-read with
+	// a reader over a truncated gzip stream.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop compressed bytes: gzip reader will fail mid-stream.
+	cut := buf.Bytes()[:buf.Len()-8]
+	r, err := NewRecordReader(bytes.NewReader(cut))
+	if err != nil {
+		return // acceptable: header unreadable
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated archive read cleanly to EOF")
+			}
+			return // any decode/integrity error is the expected outcome
+		}
+	}
+}
+
+func TestRecordArchiveCollectorIntegration(t *testing.T) {
+	// Archive what a collector receives, reload, and estimate: storage
+	// is transparent to the pipeline.
+	var buf bytes.Buffer
+	w, err := NewRecordWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []packet.Record{
+		{Key: key(1), Packets: 40, Start: 10},
+		{Key: key(2), Packets: 60, Start: 20},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecordReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(300, []float64{0.01}, func(packet.FiveTuple) (int, bool) { return 0, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.Add(rec)
+	}
+	bins := est.Estimates()
+	if len(bins) != 1 || bins[0].Estimate[0] != 10000 {
+		t.Fatalf("estimates = %+v", bins)
+	}
+}

@@ -1,0 +1,248 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netsamp/internal/packet"
+)
+
+// NetFlow v5 is the export format of the routers the paper configures
+// (Cisco sampled NetFlow; GEANT ran the Juniper-compatible
+// implementation). This file implements the v5 wire format so netsamp
+// records interoperate with standard collectors: a 24-byte header
+// followed by up to 30 48-byte records, all fields big-endian.
+
+// V5HeaderSize and V5RecordSize are the NetFlow v5 wire sizes.
+const (
+	V5HeaderSize  = 24
+	V5RecordSize  = 48
+	V5MaxRecords  = 30
+	v5Version     = 5
+	v5MaxDatagram = V5HeaderSize + V5MaxRecords*V5RecordSize
+)
+
+// V5Header is the NetFlow v5 export datagram header.
+type V5Header struct {
+	Count            uint16 // records in this datagram (1..30)
+	SysUptimeMillis  uint32 // ms since the exporter booted
+	UnixSecs         uint32 // export timestamp, seconds
+	UnixNanos        uint32
+	FlowSequence     uint32 // total flows exported before this datagram
+	EngineType       uint8
+	EngineID         uint8
+	SamplingMode     uint8  // 2-bit mode; 1 = packet-sampled
+	SamplingInterval uint16 // 14-bit N of 1-in-N sampling
+}
+
+// V5Record is one NetFlow v5 flow record. Fields netsamp does not model
+// (nexthop, interfaces beyond the monitor ID, TCP flags, ToS, AS
+// numbers, masks) are carried verbatim so foreign records survive a
+// decode/encode round trip.
+type V5Record struct {
+	SrcAddr, DstAddr, NextHop uint32
+	InputIface, OutputIface   uint16
+	Packets, Octets           uint32
+	FirstUptime, LastUptime   uint32 // ms since exporter boot
+	SrcPort, DstPort          uint16
+	TCPFlags, Proto, Tos      uint8
+	SrcAS, DstAS              uint16
+	SrcMask, DstMask          uint8
+}
+
+// Errors of the v5 codec.
+var (
+	ErrV5Short    = errors.New("netflow: buffer too short for v5 datagram")
+	ErrV5Version  = errors.New("netflow: not a NetFlow v5 datagram")
+	ErrV5BadCount = errors.New("netflow: v5 record count out of range")
+)
+
+// AppendTo appends the 24-byte header encoding.
+func (h *V5Header) AppendTo(b []byte) []byte {
+	var buf [V5HeaderSize]byte
+	binary.BigEndian.PutUint16(buf[0:], v5Version)
+	binary.BigEndian.PutUint16(buf[2:], h.Count)
+	binary.BigEndian.PutUint32(buf[4:], h.SysUptimeMillis)
+	binary.BigEndian.PutUint32(buf[8:], h.UnixSecs)
+	binary.BigEndian.PutUint32(buf[12:], h.UnixNanos)
+	binary.BigEndian.PutUint32(buf[16:], h.FlowSequence)
+	buf[20] = h.EngineType
+	buf[21] = h.EngineID
+	binary.BigEndian.PutUint16(buf[22:], uint16(h.SamplingMode&0x3)<<14|h.SamplingInterval&0x3fff)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes parses a v5 header from the front of b.
+func (h *V5Header) DecodeFromBytes(b []byte) error {
+	if len(b) < V5HeaderSize {
+		return ErrV5Short
+	}
+	if binary.BigEndian.Uint16(b[0:]) != v5Version {
+		return ErrV5Version
+	}
+	h.Count = binary.BigEndian.Uint16(b[2:])
+	if h.Count == 0 || h.Count > V5MaxRecords {
+		return ErrV5BadCount
+	}
+	h.SysUptimeMillis = binary.BigEndian.Uint32(b[4:])
+	h.UnixSecs = binary.BigEndian.Uint32(b[8:])
+	h.UnixNanos = binary.BigEndian.Uint32(b[12:])
+	h.FlowSequence = binary.BigEndian.Uint32(b[16:])
+	h.EngineType = b[20]
+	h.EngineID = b[21]
+	sampling := binary.BigEndian.Uint16(b[22:])
+	h.SamplingMode = uint8(sampling >> 14)
+	h.SamplingInterval = sampling & 0x3fff
+	return nil
+}
+
+// AppendTo appends the 48-byte record encoding.
+func (r *V5Record) AppendTo(b []byte) []byte {
+	var buf [V5RecordSize]byte
+	binary.BigEndian.PutUint32(buf[0:], r.SrcAddr)
+	binary.BigEndian.PutUint32(buf[4:], r.DstAddr)
+	binary.BigEndian.PutUint32(buf[8:], r.NextHop)
+	binary.BigEndian.PutUint16(buf[12:], r.InputIface)
+	binary.BigEndian.PutUint16(buf[14:], r.OutputIface)
+	binary.BigEndian.PutUint32(buf[16:], r.Packets)
+	binary.BigEndian.PutUint32(buf[20:], r.Octets)
+	binary.BigEndian.PutUint32(buf[24:], r.FirstUptime)
+	binary.BigEndian.PutUint32(buf[28:], r.LastUptime)
+	binary.BigEndian.PutUint16(buf[32:], r.SrcPort)
+	binary.BigEndian.PutUint16(buf[34:], r.DstPort)
+	// buf[36] pad
+	buf[37] = r.TCPFlags
+	buf[38] = r.Proto
+	buf[39] = r.Tos
+	binary.BigEndian.PutUint16(buf[40:], r.SrcAS)
+	binary.BigEndian.PutUint16(buf[42:], r.DstAS)
+	buf[44] = r.SrcMask
+	buf[45] = r.DstMask
+	// buf[46:48] pad
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes parses a v5 record from the front of b.
+func (r *V5Record) DecodeFromBytes(b []byte) error {
+	if len(b) < V5RecordSize {
+		return ErrV5Short
+	}
+	r.SrcAddr = binary.BigEndian.Uint32(b[0:])
+	r.DstAddr = binary.BigEndian.Uint32(b[4:])
+	r.NextHop = binary.BigEndian.Uint32(b[8:])
+	r.InputIface = binary.BigEndian.Uint16(b[12:])
+	r.OutputIface = binary.BigEndian.Uint16(b[14:])
+	r.Packets = binary.BigEndian.Uint32(b[16:])
+	r.Octets = binary.BigEndian.Uint32(b[20:])
+	r.FirstUptime = binary.BigEndian.Uint32(b[24:])
+	r.LastUptime = binary.BigEndian.Uint32(b[28:])
+	r.SrcPort = binary.BigEndian.Uint16(b[32:])
+	r.DstPort = binary.BigEndian.Uint16(b[34:])
+	r.TCPFlags = b[37]
+	r.Proto = b[38]
+	r.Tos = b[39]
+	r.SrcAS = binary.BigEndian.Uint16(b[40:])
+	r.DstAS = binary.BigEndian.Uint16(b[42:])
+	r.SrcMask = b[44]
+	r.DstMask = b[45]
+	return nil
+}
+
+// EncodeV5 packs records into one v5 datagram. flowSeq is the number of
+// flows exported before this datagram (the v5 loss-accounting
+// convention: gaps in FlowSequence reveal lost records, not lost
+// datagrams).
+func EncodeV5(h V5Header, records []V5Record) ([]byte, error) {
+	if len(records) == 0 || len(records) > V5MaxRecords {
+		return nil, ErrV5BadCount
+	}
+	h.Count = uint16(len(records))
+	out := make([]byte, 0, V5HeaderSize+len(records)*V5RecordSize)
+	out = h.AppendTo(out)
+	for i := range records {
+		out = records[i].AppendTo(out)
+	}
+	return out, nil
+}
+
+// DecodeV5 parses one v5 datagram.
+func DecodeV5(b []byte) (V5Header, []V5Record, error) {
+	var h V5Header
+	if err := h.DecodeFromBytes(b); err != nil {
+		return V5Header{}, nil, err
+	}
+	want := V5HeaderSize + int(h.Count)*V5RecordSize
+	if len(b) < want {
+		return V5Header{}, nil, ErrV5Short
+	}
+	records := make([]V5Record, h.Count)
+	off := V5HeaderSize
+	for i := range records {
+		if err := records[i].DecodeFromBytes(b[off:]); err != nil {
+			return V5Header{}, nil, err
+		}
+		off += V5RecordSize
+	}
+	return h, records, nil
+}
+
+// ToV5 converts a netsamp record into a v5 record. Trace time (seconds)
+// maps onto router uptime milliseconds; the monitor ID is carried in the
+// input interface index, as routers report the receiving ifIndex.
+func ToV5(rec packet.Record) V5Record {
+	return V5Record{
+		SrcAddr:     uint32(rec.Key.Src),
+		DstAddr:     uint32(rec.Key.Dst),
+		InputIface:  rec.MonitorID,
+		Packets:     clampU32(rec.Packets),
+		Octets:      clampU32(rec.Bytes),
+		FirstUptime: rec.Start * 1000,
+		LastUptime:  rec.End * 1000,
+		SrcPort:     rec.Key.SrcPort,
+		DstPort:     rec.Key.DstPort,
+		Proto:       rec.Key.Proto,
+	}
+}
+
+// FromV5 converts a v5 record into a netsamp record.
+func FromV5(r V5Record) packet.Record {
+	return packet.Record{
+		Key: packet.FiveTuple{
+			Src:     packet.Addr(r.SrcAddr),
+			Dst:     packet.Addr(r.DstAddr),
+			SrcPort: r.SrcPort,
+			DstPort: r.DstPort,
+			Proto:   r.Proto,
+		},
+		MonitorID: r.InputIface,
+		Packets:   uint64(r.Packets),
+		Bytes:     uint64(r.Octets),
+		Start:     r.FirstUptime / 1000,
+		End:       r.LastUptime / 1000,
+	}
+}
+
+func clampU32(v uint64) uint32 {
+	if v > 0xffffffff {
+		return 0xffffffff
+	}
+	return uint32(v)
+}
+
+// SamplingIntervalFor converts a sampling probability into the nearest
+// v5 1-in-N sampling interval (14-bit field). It returns an error for
+// probabilities that cannot be represented (p > 1 or p < 1/16383).
+func SamplingIntervalFor(p float64) (uint16, error) {
+	if !(p > 0 && p <= 1) {
+		return 0, fmt.Errorf("netflow: sampling probability %v out of (0, 1]", p)
+	}
+	n := int(1/p + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 0x3fff {
+		return 0, fmt.Errorf("netflow: sampling probability %v below v5 resolution (1/16383)", p)
+	}
+	return uint16(n), nil
+}

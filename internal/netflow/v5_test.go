@@ -1,0 +1,225 @@
+package netflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netsamp/internal/packet"
+)
+
+func sampleV5Record() V5Record {
+	return V5Record{
+		SrcAddr:     0x0a000001,
+		DstAddr:     0xc0a80001,
+		NextHop:     0x0a0000fe,
+		InputIface:  3,
+		OutputIface: 7,
+		Packets:     1234,
+		Octets:      567890,
+		FirstUptime: 1000,
+		LastUptime:  31000,
+		SrcPort:     443,
+		DstPort:     51234,
+		TCPFlags:    0x1b,
+		Proto:       6,
+		Tos:         0x10,
+		SrcAS:       786,
+		DstAS:       20965,
+		SrcMask:     24,
+		DstMask:     16,
+	}
+}
+
+func TestV5HeaderRoundTrip(t *testing.T) {
+	h := V5Header{
+		Count:            7,
+		SysUptimeMillis:  123456,
+		UnixSecs:         1101081600,
+		UnixNanos:        42,
+		FlowSequence:     99999,
+		EngineType:       1,
+		EngineID:         2,
+		SamplingMode:     1,
+		SamplingInterval: 1000,
+	}
+	wire := h.AppendTo(nil)
+	if len(wire) != V5HeaderSize {
+		t.Fatalf("header size = %d", len(wire))
+	}
+	var got V5Header
+	if err := got.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+}
+
+func TestV5HeaderErrors(t *testing.T) {
+	var h V5Header
+	if err := h.DecodeFromBytes(make([]byte, 10)); err != ErrV5Short {
+		t.Fatalf("short: %v", err)
+	}
+	bad := (&V5Header{Count: 1}).AppendTo(nil)
+	bad[0], bad[1] = 0, 9 // version 9
+	if err := h.DecodeFromBytes(bad); err != ErrV5Version {
+		t.Fatalf("version: %v", err)
+	}
+	zero := (&V5Header{Count: 0}).AppendTo(nil)
+	if err := h.DecodeFromBytes(zero); err != ErrV5BadCount {
+		t.Fatalf("count 0: %v", err)
+	}
+	big := (&V5Header{Count: 31}).AppendTo(nil)
+	if err := h.DecodeFromBytes(big); err != ErrV5BadCount {
+		t.Fatalf("count 31: %v", err)
+	}
+}
+
+func TestV5RecordRoundTrip(t *testing.T) {
+	r := sampleV5Record()
+	wire := r.AppendTo(nil)
+	if len(wire) != V5RecordSize {
+		t.Fatalf("record size = %d", len(wire))
+	}
+	var got V5Record
+	if err := got.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestV5DatagramRoundTrip(t *testing.T) {
+	var records []V5Record
+	for i := 0; i < 30; i++ {
+		r := sampleV5Record()
+		r.SrcPort = uint16(i)
+		records = append(records, r)
+	}
+	h := V5Header{SysUptimeMillis: 5, UnixSecs: 6, FlowSequence: 7, SamplingMode: 1, SamplingInterval: 100}
+	wire, err := EncodeV5(h, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != V5HeaderSize+30*V5RecordSize {
+		t.Fatalf("datagram size = %d", len(wire))
+	}
+	gotH, gotR, err := DecodeV5(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Count != 30 || gotH.FlowSequence != 7 || gotH.SamplingInterval != 100 {
+		t.Fatalf("header = %+v", gotH)
+	}
+	for i := range records {
+		if gotR[i] != records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestV5DatagramErrors(t *testing.T) {
+	if _, err := EncodeV5(V5Header{}, nil); err != ErrV5BadCount {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := EncodeV5(V5Header{}, make([]V5Record, 31)); err != ErrV5BadCount {
+		t.Fatalf("too many: %v", err)
+	}
+	wire, err := EncodeV5(V5Header{}, []V5Record{sampleV5Record()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeV5(wire[:len(wire)-1]); err != ErrV5Short {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestV5ConversionRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, mon uint16, pkts, bytes uint32, start uint32) bool {
+		start %= 4_000_000 // keep start*1000 within uint32
+		rec := packet.Record{
+			Key: packet.FiveTuple{
+				Src: packet.Addr(src), Dst: packet.Addr(dst),
+				SrcPort: sp, DstPort: dp, Proto: proto,
+			},
+			MonitorID: mon,
+			Packets:   uint64(pkts),
+			Bytes:     uint64(bytes),
+			Start:     start,
+			End:       start + 30,
+		}
+		return FromV5(ToV5(rec)) == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV5ConversionClamps(t *testing.T) {
+	rec := packet.Record{Packets: 1 << 40, Bytes: 1 << 50}
+	v5 := ToV5(rec)
+	if v5.Packets != 0xffffffff || v5.Octets != 0xffffffff {
+		t.Fatalf("counters not clamped: %+v", v5)
+	}
+}
+
+func TestSamplingIntervalFor(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint16
+		ok   bool
+	}{
+		{1, 1, true},
+		{0.001, 1000, true},
+		{0.0025, 400, true},
+		{1.0 / 16383, 16383, true},
+		{1e-9, 0, false},
+		{0, 0, false},
+		{1.5, 0, false},
+	}
+	for _, c := range cases {
+		got, err := SamplingIntervalFor(c.p)
+		if c.ok != (err == nil) {
+			t.Fatalf("p=%v: err=%v", c.p, err)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("p=%v: interval=%d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestV5Interop: netsamp records exported in v5 and re-imported estimate
+// correctly (the renormalization path is format-agnostic).
+func TestV5Interop(t *testing.T) {
+	recs := []packet.Record{
+		{Key: key(1), MonitorID: 2, Packets: 100, Bytes: 150000, Start: 0, End: 10},
+		{Key: key(2), MonitorID: 2, Packets: 50, Bytes: 75000, Start: 301, End: 330},
+	}
+	var v5recs []V5Record
+	for _, r := range recs {
+		v5recs = append(v5recs, ToV5(r))
+	}
+	wire, err := EncodeV5(V5Header{SamplingMode: 1, SamplingInterval: 100}, v5recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, decoded, err := DecodeV5(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(300, []float64{0.01}, func(packet.FiveTuple) (int, bool) { return 0, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decoded {
+		est.Add(FromV5(d))
+	}
+	bins := est.Estimates()
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Estimate[0] != 10000 || bins[1].Estimate[0] != 5000 {
+		t.Fatalf("estimates = %v / %v", bins[0].Estimate, bins[1].Estimate)
+	}
+}

@@ -1,0 +1,43 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordDecode: decoding arbitrary bytes must never panic, and any
+// successfully decoded record must re-encode to the same bytes
+// (canonical round trip).
+func FuzzRecordDecode(f *testing.F) {
+	f.Add((&Record{Key: FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: 6}, Packets: 7}).AppendTo(nil))
+	f.Add(make([]byte, RecordSize))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Record
+		if err := r.DecodeFromBytes(data); err != nil {
+			return
+		}
+		out := r.AppendTo(nil)
+		if !bytes.Equal(out, data[:RecordSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out, data[:RecordSize])
+		}
+	})
+}
+
+// FuzzHeaderDecode mirrors FuzzRecordDecode for datagram headers.
+func FuzzHeaderDecode(f *testing.F) {
+	f.Add((&Header{Count: 3, Seq: 9, Exporter: 1}).AppendTo(nil))
+	f.Add(make([]byte, HeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		if err := h.DecodeFromBytes(data); err != nil {
+			return
+		}
+		out := h.AppendTo(nil)
+		// Reserved bytes are not carried by the struct; compare the
+		// meaningful prefix only.
+		if !bytes.Equal(out[:12], data[:12]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out[:12], data[:12])
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/core"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+	"netsamp/internal/traffic"
+)
+
+// fixture: A -> B -> C line with an A->C and a B->C pair.
+func fixture(t *testing.T) (*topology.Graph, *routing.Matrix, []float64, []topology.LinkID) {
+	t.Helper()
+	g := topology.New()
+	a, b, c := g.AddNode("A"), g.AddNode("B"), g.AddNode("C")
+	g.AddDuplex(a, b, topology.OC48, 1)
+	g.AddDuplex(b, c, topology.OC48, 1)
+	tbl := routing.ComputeTable(g)
+	m, err := routing.BuildMatrix(tbl, []routing.ODPair{
+		{Name: "A->C", Src: a, Dst: c},
+		{Name: "B->C", Src: b, Dst: c},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	ab, _ := g.FindLink(a, b)
+	bc, _ := g.FindLink(b, c)
+	loads[ab] = 1000
+	loads[bc] = 2000
+	return g, m, loads, []topology.LinkID{ab, bc}
+}
+
+func TestBuildProblem(t *testing.T) {
+	_, m, loads, cands := fixture(t)
+	prob, index, err := Build(Input{
+		Matrix:       m,
+		Loads:        loads,
+		Candidates:   cands,
+		InvMeanSizes: []float64{0.002, 0.001},
+		Budget:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumLinks() != 2 || len(prob.Pairs) != 2 {
+		t.Fatalf("problem shape: %d links %d pairs", prob.NumLinks(), len(prob.Pairs))
+	}
+	if prob.Loads[index[cands[0]]] != 1000 || prob.Loads[index[cands[1]]] != 2000 {
+		t.Fatalf("loads mapped wrong: %v", prob.Loads)
+	}
+	// Pair A->C crosses both links; B->C only the second.
+	if len(prob.Pairs[0].Links) != 2 || len(prob.Pairs[1].Links) != 1 {
+		t.Fatalf("rows: %v / %v", prob.Pairs[0].Links, prob.Pairs[1].Links)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	_, m, loads, cands := fixture(t)
+	cases := []Input{
+		{Matrix: nil, Loads: loads, Candidates: cands, InvMeanSizes: []float64{0.1, 0.1}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: cands, InvMeanSizes: []float64{0.1}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: nil, InvMeanSizes: []float64{0.1, 0.1}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: []topology.LinkID{cands[0], cands[0]}, InvMeanSizes: []float64{0.1, 0.1}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: []topology.LinkID{99}, InvMeanSizes: []float64{0.1, 0.1}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: cands, InvMeanSizes: []float64{0.1, 5}, Budget: 1},
+		{Matrix: m, Loads: loads, Candidates: cands, InvMeanSizes: []float64{0.1, 0.1}, Weights: []float64{1}, Budget: 1},
+		// B->C does not traverse the A->B link: empty row under this set.
+		{Matrix: m, Loads: loads, Candidates: cands[:1], InvMeanSizes: []float64{0.1, 0.1}, Budget: 1},
+	}
+	for i, in := range cases {
+		if _, _, err := Build(in); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildMaxRates(t *testing.T) {
+	_, m, loads, cands := fixture(t)
+	prob, index, err := Build(Input{
+		Matrix:       m,
+		Loads:        loads,
+		Candidates:   cands,
+		InvMeanSizes: []float64{0.002, 0.001},
+		Budget:       10,
+		MaxRates:     map[topology.LinkID]float64{cands[0]: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.MaxRate[index[cands[0]]] != 0.02 || prob.MaxRate[index[cands[1]]] != 1 {
+		t.Fatalf("MaxRate = %v", prob.MaxRate)
+	}
+}
+
+func TestRoundTripSolveAndMapBack(t *testing.T) {
+	_, m, loads, cands := fixture(t)
+	prob, _, err := Build(Input{
+		Matrix:       m,
+		Loads:        loads,
+		Candidates:   cands,
+		InvMeanSizes: []float64{0.002, 0.002},
+		Budget:       15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(prob, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := RatesByLink(sol, cands)
+	if got := SampledRate(rates, loads); math.Abs(got-15) > 1e-6 {
+		t.Fatalf("SampledRate = %v", got)
+	}
+	rho := EffectiveRates(m, rates, false)
+	for k := range rho {
+		if math.Abs(rho[k]-sol.Rho[k]) > 1e-12 {
+			t.Fatalf("rho mismatch pair %d: %v vs %v", k, rho[k], sol.Rho[k])
+		}
+	}
+}
+
+func TestEffectiveRatesExact(t *testing.T) {
+	_, m, _, cands := fixture(t)
+	rates := map[topology.LinkID]float64{cands[0]: 0.5, cands[1]: 0.5}
+	rho := EffectiveRates(m, rates, true)
+	if math.Abs(rho[0]-0.75) > 1e-12 {
+		t.Fatalf("exact rho = %v, want 0.75", rho[0])
+	}
+	if math.Abs(rho[1]-0.5) > 1e-12 {
+		t.Fatalf("exact rho (single link) = %v", rho[1])
+	}
+}
+
+// TestECMPEndToEnd routes a pair over an ECMP diamond, builds the
+// fractional problem, solves it, and cross-checks the effective rates.
+func TestECMPEndToEnd(t *testing.T) {
+	g := topology.New()
+	a, b, c2, d := g.AddNode("A"), g.AddNode("B"), g.AddNode("C"), g.AddNode("D")
+	ab, _ := g.AddDuplex(a, b, topology.OC48, 1)
+	ac, _ := g.AddDuplex(a, c2, topology.OC48, 1)
+	bd, _ := g.AddDuplex(b, d, topology.OC48, 1)
+	cd, _ := g.AddDuplex(c2, d, topology.OC48, 1)
+	tbl := routing.ComputeTable(g)
+	m, err := routing.BuildMatrixECMP(tbl, []routing.ODPair{{Name: "A->D", Src: a, Dst: d}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := &traffic.Matrix{Demands: []traffic.Demand{
+		{Pair: routing.ODPair{Name: "A->D", Src: a, Dst: d}, Rate: 2000},
+	}}
+	loads, err := traffic.LinkLoadsECMP(g, tbl, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []topology.LinkID{ab, ac, bd, cd}
+	prob, _, err := Build(Input{
+		Matrix:       m,
+		Loads:        loads,
+		Candidates:   cands,
+		InvMeanSizes: []float64{1.0 / (2000 * 300)},
+		Budget:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.Pairs[0].Fracs == nil {
+		t.Fatal("fractions not threaded into the problem")
+	}
+	sol, err := core.Solve(prob, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stats.Converged {
+		t.Fatal("ECMP solve did not converge")
+	}
+	rates := RatesByLink(sol, cands)
+	rho := EffectiveRates(m, rates, false)
+	if math.Abs(rho[0]-sol.Rho[0]) > 1e-12 {
+		t.Fatalf("rho mismatch: %v vs %v", rho[0], sol.Rho[0])
+	}
+	// Sampling either branch covers only half the pair's packets: with
+	// all rates p equal, rho = 0.5p+0.5p+0.5p+0.5p... on a 2-hop path
+	// each packet crosses exactly 2 of the 4 links, so rho = 2*0.5*p.
+	total := 0.0
+	for lid, p := range rates {
+		total += p * loads[lid]
+	}
+	if math.Abs(total-10) > 1e-6 {
+		t.Fatalf("budget spent = %v", total)
+	}
+}

@@ -1,0 +1,110 @@
+// Package prefix implements an IPv4 longest-prefix-match table (a
+// binary radix trie), the lookup structure behind the paper's
+// flow-record post-processing: "we associate to each flow record the
+// egress PoP, computed from the destination IP address using the
+// technique presented in [Feldmann et al.]". The netflow classifier
+// uses it to map sampled flow records onto OD pairs.
+package prefix
+
+import (
+	"fmt"
+
+	"netsamp/internal/packet"
+)
+
+// Table is a longest-prefix-match table mapping IPv4 prefixes to int32
+// values (PoP or OD indices). The zero value is an empty table ready to
+// use. It is not safe for concurrent mutation; lookups are read-only
+// and may run concurrently after the table is built.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	// set marks a terminating prefix with its value.
+	set   bool
+	value int32
+}
+
+// Insert adds the prefix addr/length with the given value, replacing
+// any previous value for the exact same prefix. Length 0 installs a
+// default route. It returns an error for invalid lengths.
+func (t *Table) Insert(addr packet.Addr, length int, value int32) error {
+	if length < 0 || length > 32 {
+		return fmt.Errorf("prefix: length %d out of [0, 32]", length)
+	}
+	if t.root == nil {
+		t.root = &node{}
+	}
+	cur := t.root
+	for i := 0; i < length; i++ {
+		bit := (uint32(addr) >> (31 - uint(i))) & 1
+		if cur.child[bit] == nil {
+			cur.child[bit] = &node{}
+		}
+		cur = cur.child[bit]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.set = true
+	cur.value = value
+	return nil
+}
+
+// MustInsert is Insert that panics on error (for static tables).
+func (t *Table) MustInsert(addr packet.Addr, length int, value int32) {
+	if err := t.Insert(addr, length, value); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the value of the longest matching prefix for addr and
+// whether any prefix matched.
+func (t *Table) Lookup(addr packet.Addr) (int32, bool) {
+	cur := t.root
+	var best int32
+	found := false
+	for i := 0; cur != nil; i++ {
+		if cur.set {
+			best, found = cur.value, true
+		}
+		if i == 32 {
+			break
+		}
+		bit := (uint32(addr) >> (31 - uint(i))) & 1
+		cur = cur.child[bit]
+	}
+	return best, found
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table) Len() int { return t.n }
+
+// ParseCIDR parses "a.b.c.d/len" into an address and prefix length.
+func ParseCIDR(s string) (packet.Addr, int, error) {
+	var a, b, c, d, l int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &l); err != nil {
+		return 0, 0, fmt.Errorf("prefix: bad CIDR %q", s)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return 0, 0, fmt.Errorf("prefix: bad CIDR %q", s)
+		}
+	}
+	if l < 0 || l > 32 {
+		return 0, 0, fmt.Errorf("prefix: bad CIDR %q", s)
+	}
+	return packet.AddrFrom4(byte(a), byte(b), byte(c), byte(d)), l, nil
+}
+
+// InsertCIDR inserts a prefix given in CIDR notation.
+func (t *Table) InsertCIDR(cidr string, value int32) error {
+	addr, l, err := ParseCIDR(cidr)
+	if err != nil {
+		return err
+	}
+	return t.Insert(addr, l, value)
+}

@@ -1,0 +1,183 @@
+package prefix
+
+import (
+	"testing"
+
+	"netsamp/internal/packet"
+	"netsamp/internal/rng"
+)
+
+func TestLongestMatchWins(t *testing.T) {
+	var tbl Table
+	tbl.MustInsert(packet.AddrFrom4(10, 0, 0, 0), 8, 1)
+	tbl.MustInsert(packet.AddrFrom4(10, 1, 0, 0), 16, 2)
+	tbl.MustInsert(packet.AddrFrom4(10, 1, 2, 0), 24, 3)
+
+	cases := []struct {
+		addr packet.Addr
+		want int32
+		ok   bool
+	}{
+		{packet.AddrFrom4(10, 9, 9, 9), 1, true},
+		{packet.AddrFrom4(10, 1, 9, 9), 2, true},
+		{packet.AddrFrom4(10, 1, 2, 9), 3, true},
+		{packet.AddrFrom4(11, 0, 0, 1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(c.addr)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("Lookup(%v) = %v,%v want %v,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	var tbl Table
+	tbl.MustInsert(0, 0, 42)
+	if got, ok := tbl.Lookup(packet.AddrFrom4(8, 8, 8, 8)); !ok || got != 42 {
+		t.Fatalf("default route lookup = %v,%v", got, ok)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	var tbl Table
+	host := packet.AddrFrom4(192, 0, 2, 1)
+	tbl.MustInsert(host, 32, 7)
+	if got, ok := tbl.Lookup(host); !ok || got != 7 {
+		t.Fatalf("host route = %v,%v", got, ok)
+	}
+	if _, ok := tbl.Lookup(host + 1); ok {
+		t.Fatal("host route matched neighbour")
+	}
+}
+
+func TestReplaceExact(t *testing.T) {
+	var tbl Table
+	tbl.MustInsert(packet.AddrFrom4(10, 0, 0, 0), 8, 1)
+	tbl.MustInsert(packet.AddrFrom4(10, 0, 0, 0), 8, 9)
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tbl.Len())
+	}
+	if got, _ := tbl.Lookup(packet.AddrFrom4(10, 5, 5, 5)); got != 9 {
+		t.Fatalf("replaced value = %v", got)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(0, 33, 1); err == nil {
+		t.Fatal("length 33 accepted")
+	}
+	if err := tbl.Insert(0, -1, 1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tbl Table
+	if _, ok := tbl.Lookup(packet.AddrFrom4(1, 2, 3, 4)); ok {
+		t.Fatal("empty table matched")
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	addr, l, err := ParseCIDR("10.1.2.0/24")
+	if err != nil || addr != packet.AddrFrom4(10, 1, 2, 0) || l != 24 {
+		t.Fatalf("ParseCIDR = %v/%d, %v", addr, l, err)
+	}
+	for _, bad := range []string{"10.1.2.0", "300.0.0.0/8", "10.0.0.0/40", "junk"} {
+		if _, _, err := ParseCIDR(bad); err == nil {
+			t.Fatalf("ParseCIDR(%q) accepted", bad)
+		}
+	}
+	var tbl Table
+	if err := tbl.InsertCIDR("172.16.0.0/12", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tbl.Lookup(packet.AddrFrom4(172, 20, 1, 1)); !ok || got != 5 {
+		t.Fatalf("CIDR insert lookup = %v,%v", got, ok)
+	}
+	if err := tbl.InsertCIDR("bogus", 1); err == nil {
+		t.Fatal("bogus CIDR accepted")
+	}
+}
+
+// TestLookupAgainstBruteForce cross-checks the trie against a linear
+// scan over random prefix sets and random addresses.
+func TestLookupAgainstBruteForce(t *testing.T) {
+	r := rng.New(91)
+	type pfx struct {
+		addr   packet.Addr
+		length int
+		value  int32
+	}
+	for trial := 0; trial < 20; trial++ {
+		var tbl Table
+		var prefixes []pfx
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			length := r.Intn(33)
+			raw := packet.Addr(r.Uint64())
+			// Mask off host bits so the prefix is canonical.
+			var mask uint32
+			if length > 0 {
+				mask = ^uint32(0) << (32 - uint(length))
+			}
+			addr := packet.Addr(uint32(raw) & mask)
+			p := pfx{addr, length, int32(i)}
+			tbl.MustInsert(p.addr, p.length, p.value)
+			// Later exact duplicates replace earlier ones, mirroring the
+			// trie semantics in the reference list.
+			replaced := false
+			for j := range prefixes {
+				if prefixes[j].addr == p.addr && prefixes[j].length == p.length {
+					prefixes[j].value = p.value
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				prefixes = append(prefixes, p)
+			}
+		}
+		for q := 0; q < 200; q++ {
+			addr := packet.Addr(r.Uint64())
+			// Brute force: longest matching prefix wins.
+			bestLen, bestVal, found := -1, int32(0), false
+			for _, p := range prefixes {
+				var mask uint32
+				if p.length > 0 {
+					mask = ^uint32(0) << (32 - uint(p.length))
+				}
+				if uint32(addr)&mask == uint32(p.addr) && p.length > bestLen {
+					bestLen, bestVal, found = p.length, p.value, true
+				}
+			}
+			got, ok := tbl.Lookup(addr)
+			if ok != found || (ok && got != bestVal) {
+				t.Fatalf("trial %d: Lookup(%v) = %v,%v want %v,%v", trial, addr, got, ok, bestVal, found)
+			}
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		length := 8 + r.Intn(25)
+		mask := ^uint32(0) << (32 - uint(length))
+		tbl.MustInsert(packet.Addr(uint32(r.Uint64())&mask), length, int32(i))
+	}
+	addrs := make([]packet.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = packet.Addr(r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i&1023])
+	}
+}

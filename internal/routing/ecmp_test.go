@@ -1,0 +1,197 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/topology"
+)
+
+// ecmpDiamond builds A→{B,C}→D with equal costs, plus a tail D→E.
+func ecmpDiamond(t *testing.T) (*topology.Graph, map[string]topology.NodeID) {
+	t.Helper()
+	g := topology.New()
+	ids := map[string]topology.NodeID{}
+	for _, n := range []string{"A", "B", "C", "D", "E"} {
+		ids[n] = g.AddNode(n)
+	}
+	g.AddDuplex(ids["A"], ids["B"], topology.OC48, 10)
+	g.AddDuplex(ids["A"], ids["C"], topology.OC48, 10)
+	g.AddDuplex(ids["B"], ids["D"], topology.OC48, 10)
+	g.AddDuplex(ids["C"], ids["D"], topology.OC48, 10)
+	g.AddDuplex(ids["D"], ids["E"], topology.OC48, 10)
+	return g, ids
+}
+
+func fracOf(t *testing.T, g *topology.Graph, hops []Hop, name string) float64 {
+	t.Helper()
+	for _, h := range hops {
+		if g.LinkName(h.Link) == name {
+			return h.Frac
+		}
+	}
+	return 0
+}
+
+func TestFractionsEvenSplit(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	tbl := ComputeTable(g)
+	hops, err := tbl.Fractions(ids["A"], ids["E"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A->B", "A->C", "B->D", "C->D"} {
+		if f := fracOf(t, g, hops, name); math.Abs(f-0.5) > 1e-12 {
+			t.Fatalf("frac(%s) = %v, want 0.5", name, f)
+		}
+	}
+	if f := fracOf(t, g, hops, "D->E"); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("frac(D->E) = %v, want 1", f)
+	}
+	// Conservation: fractions on links into the destination sum to 1.
+	sumIn := 0.0
+	for _, h := range hops {
+		if g.Link(h.Link).Dst == ids["E"] {
+			sumIn += h.Frac
+		}
+	}
+	if math.Abs(sumIn-1) > 1e-12 {
+		t.Fatalf("fractions into destination sum to %v", sumIn)
+	}
+}
+
+func TestFractionsSinglePath(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	// Make the B branch cheaper: no splitting.
+	bd, _ := g.FindLink(ids["B"], ids["D"])
+	_ = bd
+	g2 := topology.New()
+	a := g2.AddNode("A")
+	b := g2.AddNode("B")
+	c := g2.AddNode("C")
+	g2.AddDuplex(a, b, topology.OC48, 1)
+	g2.AddDuplex(b, c, topology.OC48, 1)
+	g2.AddDuplex(a, c, topology.OC48, 5)
+	tbl := ComputeTable(g2)
+	hops, err := tbl.Fractions(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 2 {
+		t.Fatalf("hops = %v", hops)
+	}
+	for _, h := range hops {
+		if math.Abs(h.Frac-1) > 1e-12 {
+			t.Fatalf("single path fraction = %v", h.Frac)
+		}
+	}
+	_ = ids
+}
+
+func TestFractionsSelfAndUnreachable(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	tbl := ComputeTable(g)
+	hops, err := tbl.Fractions(ids["A"], ids["A"])
+	if err != nil || hops != nil {
+		t.Fatalf("self: %v, %v", hops, err)
+	}
+	iso := g.AddNode("ISO")
+	tbl2 := ComputeTable(g)
+	if _, err := tbl2.Fractions(ids["A"], iso); err == nil {
+		t.Fatal("unreachable accepted")
+	}
+}
+
+func TestFractionsDownLink(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	ab, _ := g.FindLink(ids["A"], ids["B"])
+	g.SetDown(ab, true)
+	tbl := ComputeTable(g)
+	hops, err := tbl.Fractions(ids["A"], ids["E"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := fracOf(t, g, hops, "A->C"); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("frac(A->C) after failure = %v, want 1", f)
+	}
+	if f := fracOf(t, g, hops, "A->B"); f != 0 {
+		t.Fatalf("down link carries fraction %v", f)
+	}
+}
+
+func TestFractionsUnevenDAG(t *testing.T) {
+	// A splits to B and C; B splits again to D and E; all rejoin at F.
+	//   A→B (w1), A→C (w1); B→D (w1), B→E (w1); C→F (w2), D→F (w1), E→F (w1)
+	// Costs: A→F via C: 1+2 = 3; via B→D→F: 1+1+1 = 3; via B→E→F: 3. All equal.
+	// A sends 1/2 to B and 1/2 to C; B forwards 1/4 to each of D, E.
+	g := topology.New()
+	a, b, c, d, e, f := g.AddNode("A"), g.AddNode("B"), g.AddNode("C"), g.AddNode("D"), g.AddNode("E"), g.AddNode("F")
+	g.AddDuplex(a, b, topology.OC48, 1)
+	g.AddDuplex(a, c, topology.OC48, 1)
+	g.AddDuplex(b, d, topology.OC48, 1)
+	g.AddDuplex(b, e, topology.OC48, 1)
+	g.AddDuplex(c, f, topology.OC48, 2)
+	g.AddDuplex(d, f, topology.OC48, 1)
+	g.AddDuplex(e, f, topology.OC48, 1)
+	tbl := ComputeTable(g)
+	hops, err := tbl.Fractions(a, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"A->B": 0.5, "A->C": 0.5,
+		"B->D": 0.25, "B->E": 0.25,
+		"C->F": 0.5, "D->F": 0.25, "E->F": 0.25,
+	}
+	for name, wf := range want {
+		if gf := fracOf(t, g, hops, name); math.Abs(gf-wf) > 1e-12 {
+			t.Fatalf("frac(%s) = %v, want %v", name, gf, wf)
+		}
+	}
+}
+
+func TestBuildMatrixECMP(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	tbl := ComputeTable(g)
+	m, err := BuildMatrixECMP(tbl, []ODPair{
+		{Name: "A->E", Src: ids["A"], Dst: ids["E"]},
+		{Name: "A->B", Src: ids["A"], Dst: ids["B"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fracs == nil {
+		t.Fatal("no fractions")
+	}
+	// Pair 0 crosses five links; the de link with fraction 1.
+	if len(m.Rows[0]) != 5 {
+		t.Fatalf("row 0 = %v", m.Rows[0])
+	}
+	de, _ := g.FindLink(ids["D"], ids["E"])
+	if f := m.Frac(0, de); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("Frac(0, D->E) = %v", f)
+	}
+	ab, _ := g.FindLink(ids["A"], ids["B"])
+	if f := m.Frac(0, ab); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("Frac(0, A->B) = %v", f)
+	}
+	if f := m.Frac(1, de); f != 0 {
+		t.Fatalf("Frac(1, D->E) = %v", f)
+	}
+	// Single-path matrix Frac defaults to 1.
+	sp, err := BuildMatrix(tbl, []ODPair{{Name: "A->B", Src: ids["A"], Dst: ids["B"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sp.Frac(0, ab); f != 1 {
+		t.Fatalf("single-path Frac = %v", f)
+	}
+}
+
+func TestBuildMatrixECMPErrors(t *testing.T) {
+	g, ids := ecmpDiamond(t)
+	tbl := ComputeTable(g)
+	if _, err := BuildMatrixECMP(tbl, []ODPair{{Name: "x", Src: ids["A"], Dst: ids["A"]}}); err == nil {
+		t.Fatal("degenerate pair accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/rng"
+	"netsamp/internal/topology"
+)
+
+// floydWarshall is an independent all-pairs shortest-path reference used
+// to cross-check the SPF implementation on random graphs.
+func floydWarshall(g *topology.Graph) [][]int {
+	n := g.NumNodes()
+	const inf = math.MaxInt32
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = inf
+			}
+		}
+	}
+	for _, l := range g.Links() {
+		if l.Down {
+			continue
+		}
+		if l.Weight < dist[l.Src][l.Dst] {
+			dist[l.Src][l.Dst] = l.Weight
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if dist[i][k] == inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dist[k][j] == inf {
+					continue
+				}
+				if d := dist[i][k] + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// randomGraph builds a random connected-ish directed graph.
+func randomGraph(r *rng.Source, nodes, extraLinks int) *topology.Graph {
+	g := topology.New()
+	for i := 0; i < nodes; i++ {
+		g.AddNode(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+	}
+	// Spanning chain guarantees weak connectivity.
+	for i := 1; i < nodes; i++ {
+		g.AddDuplex(topology.NodeID(i-1), topology.NodeID(i), topology.OC48, 1+r.Intn(20))
+	}
+	for i := 0; i < extraLinks; i++ {
+		a := topology.NodeID(r.Intn(nodes))
+		b := topology.NodeID(r.Intn(nodes))
+		if a == b {
+			continue
+		}
+		g.AddLink(a, b, topology.OC12, 1+r.Intn(20))
+	}
+	return g
+}
+
+// TestSPFMatchesFloydWarshall cross-checks distances on random graphs.
+func TestSPFMatchesFloydWarshall(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		nodes := 3 + r.Intn(15)
+		g := randomGraph(r, nodes, r.Intn(3*nodes))
+		tbl := ComputeTable(g)
+		want := floydWarshall(g)
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				src, dst := topology.NodeID(s), topology.NodeID(d)
+				if s == d {
+					continue
+				}
+				reach := want[s][d] != math.MaxInt32
+				if tbl.Reachable(src, dst) != reach {
+					t.Fatalf("trial %d: reachability(%d,%d) mismatch", trial, s, d)
+				}
+				if !reach {
+					continue
+				}
+				got, err := tbl.Cost(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want[s][d] {
+					t.Fatalf("trial %d: dist(%d,%d) = %d, Floyd-Warshall %d", trial, s, d, got, want[s][d])
+				}
+			}
+		}
+	}
+}
+
+// TestECMPFractionsConservation: on random graphs, for every reachable
+// pair the fractions flowing into the destination sum to 1 and flow is
+// conserved at every intermediate node.
+func TestECMPFractionsConservation(t *testing.T) {
+	r := rng.New(88)
+	for trial := 0; trial < 30; trial++ {
+		nodes := 3 + r.Intn(12)
+		g := randomGraph(r, nodes, r.Intn(3*nodes))
+		tbl := ComputeTable(g)
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				src, dst := topology.NodeID(s), topology.NodeID(d)
+				if s == d || !tbl.Reachable(src, dst) {
+					continue
+				}
+				hops, err := tbl.Fractions(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := make(map[topology.NodeID]float64)
+				out := make(map[topology.NodeID]float64)
+				for _, h := range hops {
+					l := g.Link(h.Link)
+					if h.Frac <= 0 || h.Frac > 1+1e-12 {
+						t.Fatalf("fraction out of range: %v", h.Frac)
+					}
+					out[l.Src] += h.Frac
+					in[l.Dst] += h.Frac
+				}
+				if math.Abs(out[src]-1) > 1e-9 {
+					t.Fatalf("source emits %v", out[src])
+				}
+				if math.Abs(in[dst]-1) > 1e-9 {
+					t.Fatalf("destination receives %v", in[dst])
+				}
+				for n := topology.NodeID(0); int(n) < nodes; n++ {
+					if n == src || n == dst {
+						continue
+					}
+					if math.Abs(in[n]-out[n]) > 1e-9 {
+						t.Fatalf("flow not conserved at %d: in %v out %v", n, in[n], out[n])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestECMPConsistentWithSinglePath: the single shortest path must be a
+// subset of the ECMP DAG, and its cost consistent.
+func TestECMPConsistentWithSinglePath(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		nodes := 3 + r.Intn(10)
+		g := randomGraph(r, nodes, r.Intn(2*nodes))
+		tbl := ComputeTable(g)
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				src, dst := topology.NodeID(s), topology.NodeID(d)
+				if s == d || !tbl.Reachable(src, dst) {
+					continue
+				}
+				path, err := tbl.PathBetween(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hops, err := tbl.Fractions(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				onDAG := map[topology.LinkID]bool{}
+				for _, h := range hops {
+					onDAG[h.Link] = true
+				}
+				for _, lid := range path.Links {
+					if !onDAG[lid] {
+						t.Fatalf("trial %d: single path uses link %d outside the ECMP DAG", trial, lid)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package routing computes intradomain shortest-path routes (an ISIS-like
+// SPF) over a topology.Graph and derives the routing matrix R the
+// optimization framework consumes: r[k][i] = 1 iff OD pair k traverses
+// link i (paper, Section III).
+//
+// Routing is deterministic: ties between equal-cost paths are broken by
+// preferring the path whose next node has the smaller NodeID, so that a
+// given topology always yields the same routing matrix (experiments must
+// be reproducible). ECMP splitting is intentionally out of scope; the
+// paper's formulation assigns each OD pair a single set of traversed
+// links.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"netsamp/internal/topology"
+)
+
+// ODPair names a measurement-task origin-destination pair. In the paper's
+// terminology origin and destination can be any aggregate (end-host,
+// prefix, AS, PoP); here they are graph nodes.
+type ODPair struct {
+	Name     string
+	Src, Dst topology.NodeID
+}
+
+// Path is a directed path through the graph.
+type Path struct {
+	Links []topology.LinkID
+	Cost  int
+}
+
+// Table holds the shortest path between every ordered pair of nodes.
+type Table struct {
+	g *topology.Graph
+	// next[src][dst] is the first link on the path src->dst, -1 if
+	// unreachable or src == dst.
+	next [][]topology.LinkID
+	dist [][]int
+}
+
+const unreachable = math.MaxInt32
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	node topology.NodeID
+	dist int
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ComputeTable runs SPF from every node and returns the routing table.
+// Down links are ignored. Access links are routed over normally (traffic
+// must ingress/egress through them); only the monitorability decision
+// treats them specially.
+func ComputeTable(g *topology.Graph) *Table {
+	n := g.NumNodes()
+	t := &Table{
+		g:    g,
+		next: make([][]topology.LinkID, n),
+		dist: make([][]int, n),
+	}
+	for src := 0; src < n; src++ {
+		t.next[src], t.dist[src] = sssp(g, topology.NodeID(src))
+	}
+	return t
+}
+
+// sssp computes single-source shortest paths with deterministic
+// tie-breaking and returns, per destination, the first link of the path
+// and the distance.
+func sssp(g *topology.Graph, src topology.NodeID) ([]topology.LinkID, []int) {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	// prev[d] is the link used to reach d on the best path found so far.
+	prev := make([]topology.LinkID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = unreachable
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		u := it.node
+		if done[u] || it.dist > dist[u] {
+			continue
+		}
+		done[u] = true
+		for _, lid := range g.Out(u) {
+			l := g.Link(lid)
+			if l.Down {
+				continue
+			}
+			nd := dist[u] + l.Weight
+			v := l.Dst
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = lid
+				heap.Push(q, item{node: v, dist: nd})
+			} else if nd == dist[v] && prev[v] >= 0 {
+				// Deterministic tie-break: prefer the path whose
+				// predecessor node has the smaller ID; on a further tie,
+				// the smaller link ID.
+				cur := g.Link(prev[v])
+				if u < cur.Src || (u == cur.Src && lid < prev[v]) {
+					prev[v] = lid
+				}
+			}
+		}
+	}
+	// Convert prev pointers into first-hop links.
+	next := make([]topology.LinkID, n)
+	for d := 0; d < n; d++ {
+		next[d] = -1
+	}
+	for d := 0; d < n; d++ {
+		if topology.NodeID(d) == src || dist[d] == unreachable {
+			continue
+		}
+		// Walk back from d to src collecting nothing; we only need the
+		// first hop, found by walking predecessors until we reach src.
+		cur := topology.NodeID(d)
+		var first topology.LinkID = -1
+		for cur != src {
+			l := g.Link(prev[cur])
+			first = prev[cur]
+			cur = l.Src
+		}
+		next[d] = first
+	}
+	return next, dist
+}
+
+// Reachable reports whether dst is reachable from src.
+func (t *Table) Reachable(src, dst topology.NodeID) bool {
+	return src == dst || t.dist[src][dst] != unreachable
+}
+
+// Cost returns the IGP cost of the path src->dst. It returns an error if
+// dst is unreachable.
+func (t *Table) Cost(src, dst topology.NodeID) (int, error) {
+	if !t.Reachable(src, dst) {
+		return 0, fmt.Errorf("routing: %v unreachable from %v", dst, src)
+	}
+	return t.dist[src][dst], nil
+}
+
+// PathBetween returns the shortest path from src to dst. An empty path
+// with zero cost is returned when src == dst. It returns an error if dst
+// is unreachable.
+func (t *Table) PathBetween(src, dst topology.NodeID) (Path, error) {
+	if src == dst {
+		return Path{}, nil
+	}
+	if !t.Reachable(src, dst) {
+		return Path{}, fmt.Errorf("routing: %v unreachable from %v", dst, src)
+	}
+	var p Path
+	cur := src
+	for cur != dst {
+		lid := t.next[cur][dst]
+		if lid < 0 {
+			return Path{}, fmt.Errorf("routing: broken next-hop chain at node %v toward %v", cur, dst)
+		}
+		p.Links = append(p.Links, lid)
+		l := t.g.Link(lid)
+		p.Cost += l.Weight
+		cur = l.Dst
+		if len(p.Links) > t.g.NumLinks() {
+			return Path{}, fmt.Errorf("routing: next-hop loop from %v to %v", src, dst)
+		}
+	}
+	return p, nil
+}
+
+// Matrix is the routing matrix restricted to a set of OD pairs: one
+// sparse row per pair listing the links it traverses. Link identities
+// are topology.LinkIDs; the optimizer maps them to dense indices over
+// the candidate monitor set.
+type Matrix struct {
+	Pairs []ODPair
+	Rows  [][]topology.LinkID
+	// Fracs, when non-nil, holds the ECMP traffic fraction of each entry
+	// of Rows (see BuildMatrixECMP). Nil means single-path routing, i.e.
+	// every fraction is 1.
+	Fracs [][]float64
+}
+
+// BuildMatrix routes every OD pair and assembles the routing matrix. It
+// returns an error if any pair is unroutable or degenerate (src == dst).
+func BuildMatrix(t *Table, pairs []ODPair) (*Matrix, error) {
+	m := &Matrix{Pairs: make([]ODPair, len(pairs)), Rows: make([][]topology.LinkID, len(pairs))}
+	copy(m.Pairs, pairs)
+	for k, pr := range pairs {
+		if pr.Src == pr.Dst {
+			return nil, fmt.Errorf("routing: OD pair %q has identical endpoints", pr.Name)
+		}
+		p, err := t.PathBetween(pr.Src, pr.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("routing: OD pair %q: %w", pr.Name, err)
+		}
+		row := make([]topology.LinkID, len(p.Links))
+		copy(row, p.Links)
+		m.Rows[k] = row
+	}
+	return m, nil
+}
+
+// Traverses reports whether OD pair k crosses link id (entry r_{k,i}).
+func (m *Matrix) Traverses(k int, id topology.LinkID) bool {
+	for _, l := range m.Rows[k] {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkSet returns the union L of links traversed by any OD pair, in
+// ascending LinkID order (the set the paper calls L ⊆ E).
+func (m *Matrix) LinkSet() []topology.LinkID {
+	seen := map[topology.LinkID]bool{}
+	for _, row := range m.Rows {
+		for _, l := range row {
+			seen[l] = true
+		}
+	}
+	out := make([]topology.LinkID, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PairsOnLink returns the indices of OD pairs that traverse link id.
+func (m *Matrix) PairsOnLink(id topology.LinkID) []int {
+	var out []int
+	for k := range m.Rows {
+		if m.Traverses(k, id) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package routing
+
+import (
+	"testing"
+
+	"netsamp/internal/topology"
+)
+
+// lineGraph builds A - B - C - D with unit weights.
+func lineGraph(t *testing.T) (*topology.Graph, []topology.NodeID) {
+	t.Helper()
+	g := topology.New()
+	ids := []topology.NodeID{g.AddNode("A"), g.AddNode("B"), g.AddNode("C"), g.AddNode("D")}
+	g.AddDuplex(ids[0], ids[1], topology.OC48, 1)
+	g.AddDuplex(ids[1], ids[2], topology.OC48, 1)
+	g.AddDuplex(ids[2], ids[3], topology.OC48, 1)
+	return g, ids
+}
+
+// diamond builds a graph with two paths A->D: A-B-D (cost 2) and A-C-D
+// (cost 3 by default, configurable).
+func diamond(t *testing.T, viaCWeight int) (*topology.Graph, [4]topology.NodeID) {
+	t.Helper()
+	g := topology.New()
+	a, b, c, d := g.AddNode("A"), g.AddNode("B"), g.AddNode("C"), g.AddNode("D")
+	g.AddDuplex(a, b, topology.OC48, 1)
+	g.AddDuplex(b, d, topology.OC48, 1)
+	g.AddDuplex(a, c, topology.OC48, viaCWeight)
+	g.AddDuplex(c, d, topology.OC48, viaCWeight)
+	return g, [4]topology.NodeID{a, b, c, d}
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g, ids := lineGraph(t)
+	tbl := ComputeTable(g)
+	p, err := tbl.PathBetween(ids[0], ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 3 || len(p.Links) != 3 {
+		t.Fatalf("path = %+v", p)
+	}
+	// Verify the path is contiguous A->B->C->D.
+	want := []string{"A->B", "B->C", "C->D"}
+	for i, lid := range p.Links {
+		if g.LinkName(lid) != want[i] {
+			t.Fatalf("hop %d = %s, want %s", i, g.LinkName(lid), want[i])
+		}
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	g, ids := lineGraph(t)
+	tbl := ComputeTable(g)
+	p, err := tbl.PathBetween(ids[1], ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Links) != 0 || p.Cost != 0 {
+		t.Fatalf("self path = %+v", p)
+	}
+}
+
+func TestPrefersCheaperPath(t *testing.T) {
+	g, ids := diamond(t, 5)
+	tbl := ComputeTable(g)
+	p, err := tbl.PathBetween(ids[0], ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 2 {
+		t.Fatalf("cost = %d, want 2 (via B)", p.Cost)
+	}
+	if g.LinkName(p.Links[0]) != "A->B" {
+		t.Fatalf("first hop = %s", g.LinkName(p.Links[0]))
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Equal-cost paths via B and via C; B has the smaller node ID, so the
+	// tie must always break toward B.
+	for trial := 0; trial < 5; trial++ {
+		g, ids := diamond(t, 1)
+		tbl := ComputeTable(g)
+		p, err := tbl.PathBetween(ids[0], ids[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost != 2 {
+			t.Fatalf("cost = %d", p.Cost)
+		}
+		if g.LinkName(p.Links[0]) != "A->B" {
+			t.Fatalf("tie broke toward %s", g.LinkName(p.Links[0]))
+		}
+	}
+}
+
+func TestDownLinkReroutes(t *testing.T) {
+	g, ids := diamond(t, 5)
+	ab, _ := g.FindLink(ids[0], ids[1])
+	g.SetDown(ab, true)
+	tbl := ComputeTable(g)
+	p, err := tbl.PathBetween(ids[0], ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 10 {
+		t.Fatalf("rerouted cost = %d, want 10 (via C)", p.Cost)
+	}
+	if g.LinkName(p.Links[0]) != "A->C" {
+		t.Fatalf("rerouted first hop = %s", g.LinkName(p.Links[0]))
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	g.AddLink(a, b, topology.OC3, 1) // one-way only; C isolated
+	tbl := ComputeTable(g)
+	if tbl.Reachable(b, a) {
+		t.Fatal("B->A should be unreachable (one-way link)")
+	}
+	if tbl.Reachable(a, c) {
+		t.Fatal("A->C should be unreachable")
+	}
+	if _, err := tbl.PathBetween(a, c); err == nil {
+		t.Fatal("PathBetween to unreachable node must error")
+	}
+	if _, err := tbl.Cost(a, c); err == nil {
+		t.Fatal("Cost to unreachable node must error")
+	}
+	if cost, err := tbl.Cost(a, b); err != nil || cost != 1 {
+		t.Fatalf("Cost(A,B) = %d, %v", cost, err)
+	}
+}
+
+func TestBuildMatrix(t *testing.T) {
+	g, ids := lineGraph(t)
+	tbl := ComputeTable(g)
+	pairs := []ODPair{
+		{Name: "A->D", Src: ids[0], Dst: ids[3]},
+		{Name: "B->C", Src: ids[1], Dst: ids[2]},
+	}
+	m, err := BuildMatrix(tbl, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows[0]) != 3 || len(m.Rows[1]) != 1 {
+		t.Fatalf("rows = %v", m.Rows)
+	}
+	bc, _ := g.FindLink(ids[1], ids[2])
+	if !m.Traverses(0, bc) || !m.Traverses(1, bc) {
+		t.Fatal("both pairs must traverse B->C")
+	}
+	ab, _ := g.FindLink(ids[0], ids[1])
+	if m.Traverses(1, ab) {
+		t.Fatal("pair B->C must not traverse A->B")
+	}
+	set := m.LinkSet()
+	if len(set) != 3 {
+		t.Fatalf("LinkSet = %v, want 3 links", set)
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i] <= set[i-1] {
+			t.Fatalf("LinkSet not sorted: %v", set)
+		}
+	}
+	on := m.PairsOnLink(bc)
+	if len(on) != 2 || on[0] != 0 || on[1] != 1 {
+		t.Fatalf("PairsOnLink = %v", on)
+	}
+}
+
+func TestBuildMatrixErrors(t *testing.T) {
+	g, ids := lineGraph(t)
+	tbl := ComputeTable(g)
+	if _, err := BuildMatrix(tbl, []ODPair{{Name: "loop", Src: ids[0], Dst: ids[0]}}); err == nil {
+		t.Fatal("degenerate pair accepted")
+	}
+	iso := g.AddNode("ISO")
+	tbl2 := ComputeTable(g)
+	if _, err := BuildMatrix(tbl2, []ODPair{{Name: "x", Src: ids[0], Dst: iso}}); err == nil {
+		t.Fatal("unroutable pair accepted")
+	}
+}
+
+// TestPathConsistency is a property: for every ordered reachable pair in
+// a random-ish mesh, the path returned is contiguous, loop-free, starts
+// at src, ends at dst, and its cost equals Table.Cost.
+func TestPathConsistency(t *testing.T) {
+	g := topology.New()
+	var ids []topology.NodeID
+	for _, n := range []string{"A", "B", "C", "D", "E", "F"} {
+		ids = append(ids, g.AddNode(n))
+	}
+	g.AddDuplex(ids[0], ids[1], topology.OC48, 2)
+	g.AddDuplex(ids[1], ids[2], topology.OC48, 2)
+	g.AddDuplex(ids[2], ids[3], topology.OC48, 2)
+	g.AddDuplex(ids[3], ids[4], topology.OC48, 2)
+	g.AddDuplex(ids[4], ids[5], topology.OC48, 2)
+	g.AddDuplex(ids[0], ids[5], topology.OC48, 3)
+	g.AddDuplex(ids[1], ids[4], topology.OC48, 5)
+	tbl := ComputeTable(g)
+	for _, s := range ids {
+		for _, d := range ids {
+			if s == d {
+				continue
+			}
+			p, err := tbl.PathBetween(s, d)
+			if err != nil {
+				t.Fatalf("%v->%v: %v", s, d, err)
+			}
+			cur := s
+			visited := map[topology.NodeID]bool{s: true}
+			cost := 0
+			for _, lid := range p.Links {
+				l := g.Link(lid)
+				if l.Src != cur {
+					t.Fatalf("%v->%v: discontiguous at %v", s, d, lid)
+				}
+				cur = l.Dst
+				cost += l.Weight
+				if visited[cur] {
+					t.Fatalf("%v->%v: loop at %v", s, d, cur)
+				}
+				visited[cur] = true
+			}
+			if cur != d {
+				t.Fatalf("%v->%v: path ends at %v", s, d, cur)
+			}
+			want, err := tbl.Cost(s, d)
+			if err != nil || cost != want || p.Cost != want {
+				t.Fatalf("%v->%v: cost %d/%d, want %d (%v)", s, d, cost, p.Cost, want, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/rng"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+)
+
+func TestEffectiveRates(t *testing.T) {
+	rates := []float64{0.01, 0.02}
+	exact := EffectiveRateExact(rates)
+	want := 1 - 0.99*0.98
+	if math.Abs(exact-want) > 1e-15 {
+		t.Fatalf("exact = %v, want %v", exact, want)
+	}
+	approx := EffectiveRateApprox(rates)
+	if approx != 0.03 {
+		t.Fatalf("approx = %v", approx)
+	}
+	// Approximation error is O(p²): tiny at paper-scale rates.
+	if math.Abs(exact-approx) > 0.001 {
+		t.Fatalf("models diverge too much at low rates: %v vs %v", exact, approx)
+	}
+	if EffectiveRateExact(nil) != 0 || EffectiveRateApprox(nil) != 0 {
+		t.Fatal("empty rate sets must give ρ = 0")
+	}
+	// Exact rate saturates at 1.
+	if got := EffectiveRateExact([]float64{1, 0.5}); got != 1 {
+		t.Fatalf("exact with a rate of 1 = %v", got)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	est, err := Estimate(50, 0.01)
+	if err != nil || est != 5000 {
+		t.Fatalf("Estimate = %v, %v", est, err)
+	}
+	if _, err := Estimate(50, 0); err == nil {
+		t.Fatal("Estimate with ρ=0 accepted")
+	}
+}
+
+func TestEstimatorUnbiased(t *testing.T) {
+	// E[X/ρ] = S: the mean estimate over many trials must approach the
+	// actual size.
+	r := rng.New(9)
+	const size, rho, trials = 200000, 0.005, 2000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		est, err := Estimate(SampleOD(size, rho, r), rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-size)/size > 0.01 {
+		t.Fatalf("mean estimate = %v, want ≈%v", mean, size)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy(90, 100); math.Abs(got-0.9) > 1e-15 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := Accuracy(110, 100); math.Abs(got-0.9) > 1e-15 {
+		t.Fatalf("Accuracy over = %v", got)
+	}
+	if got := Accuracy(100, 100); got != 1 {
+		t.Fatalf("perfect accuracy = %v", got)
+	}
+	if got := Accuracy(500, 100); got != 0 {
+		t.Fatalf("clamped accuracy = %v", got)
+	}
+}
+
+func TestAccuracyPanicsOnBadActual(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Accuracy(1, 0)
+}
+
+func TestExperimentStatistics(t *testing.T) {
+	r := rng.New(10)
+	res, err := Experiment("od", 1_000_000, 0.01, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρS = 10000 sampled packets: relative error ~1/√(ρS) = 1%, so the
+	// mean accuracy should be around 0.99.
+	if res.MeanAccuracy < 0.98 || res.MeanAccuracy > 1 {
+		t.Fatalf("MeanAccuracy = %v", res.MeanAccuracy)
+	}
+	if res.StdAccuracy < 0 || res.StdAccuracy > 0.05 {
+		t.Fatalf("StdAccuracy = %v", res.StdAccuracy)
+	}
+	if math.Abs(res.MeanEstimate-1_000_000)/1_000_000 > 0.01 {
+		t.Fatalf("MeanEstimate = %v", res.MeanEstimate)
+	}
+}
+
+func TestExperimentHigherRateMoreAccurate(t *testing.T) {
+	r := rng.New(11)
+	lo, err := Experiment("od", 100000, 0.001, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Experiment("od", 100000, 0.05, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MeanAccuracy <= lo.MeanAccuracy {
+		t.Fatalf("accuracy not increasing in ρ: %v vs %v", lo.MeanAccuracy, hi.MeanAccuracy)
+	}
+}
+
+func TestExperimentUnmonitored(t *testing.T) {
+	r := rng.New(12)
+	res, err := Experiment("od", 1000, 0, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAccuracy != 0 {
+		t.Fatalf("unmonitored accuracy = %v", res.MeanAccuracy)
+	}
+}
+
+func TestExperimentErrors(t *testing.T) {
+	r := rng.New(13)
+	if _, err := Experiment("od", 0, 0.1, 10, r); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := Experiment("od", 10, 0.1, 0, r); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestPlanRates(t *testing.T) {
+	g := topology.New()
+	a, b, c := g.AddNode("A"), g.AddNode("B"), g.AddNode("C")
+	g.AddDuplex(a, b, topology.OC48, 1)
+	g.AddDuplex(b, c, topology.OC48, 1)
+	tbl := routing.ComputeTable(g)
+	m, err := routing.BuildMatrix(tbl, []routing.ODPair{{Name: "A->C", Src: a, Dst: c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := g.FindLink(a, b)
+	rates := map[topology.LinkID]float64{ab: 0.02}
+	got := PlanRates(m, 0, rates)
+	if len(got) != 1 || got[0] != 0.02 {
+		t.Fatalf("PlanRates = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]Result{
+		{MeanAccuracy: 0.9},
+		{MeanAccuracy: 0.5},
+		{MeanAccuracy: 1.0},
+	})
+	if math.Abs(s.Average-0.8) > 1e-12 || s.Worst != 0.5 || s.Best != 1.0 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Average != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+// TestAccuracyMatchesUtilityPrediction ties the simulator back to the
+// utility model: the measured mean squared relative error must match
+// E[SRE](ρ) = (1-ρ)/ρ·(1/S) for fixed-size flows.
+func TestAccuracyMatchesUtilityPrediction(t *testing.T) {
+	r := rng.New(14)
+	const size, rho, trials = 50000, 0.004, 5000
+	sumSRE := 0.0
+	for i := 0; i < trials; i++ {
+		est, err := Estimate(SampleOD(size, rho, r), rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (est - size) / size
+		sumSRE += rel * rel
+	}
+	got := sumSRE / trials
+	want := (1 - rho) / rho * (1.0 / size)
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("measured E[SRE] = %v, model %v", got, want)
+	}
+}
+
+func TestSamplePeriodicCount(t *testing.T) {
+	r := rng.New(20)
+	// Exact multiples: always size/n regardless of phase.
+	for i := 0; i < 100; i++ {
+		if got := SamplePeriodic(1000, 10, r); got != 100 {
+			t.Fatalf("SamplePeriodic(1000, 10) = %d", got)
+		}
+	}
+	if got := SamplePeriodic(5, 1, r); got != 5 {
+		t.Fatalf("1-in-1 = %d", got)
+	}
+	if got := SamplePeriodic(0, 10, r); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+	// Non-multiple: count is floor or ceil of size/n depending on phase.
+	for i := 0; i < 1000; i++ {
+		got := SamplePeriodic(1005, 10, r)
+		if got != 100 && got != 101 {
+			t.Fatalf("SamplePeriodic(1005, 10) = %d", got)
+		}
+	}
+}
+
+// TestPeriodicMatchesRandomSampling reproduces the Duffield et al.
+// observation the paper relies on (Section II): the size estimator
+// behaves the same under periodic 1-in-N and random rate-1/N sampling —
+// same mean, and periodic has no larger error.
+func TestPeriodicMatchesRandomSampling(t *testing.T) {
+	r := rng.New(21)
+	const size, n, trials = 200000, 100, 3000
+	rho := 1.0 / n
+	var sumP, sumR, sreP, sreR float64
+	for i := 0; i < trials; i++ {
+		p, err := Estimate(SamplePeriodic(size, n, r), rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Estimate(SampleOD(size, rho, r), rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumP += p
+		sumR += q
+		relP := (p - size) / size
+		relR := (q - size) / size
+		sreP += relP * relP
+		sreR += relR * relR
+	}
+	meanP, meanR := sumP/trials, sumR/trials
+	if math.Abs(meanP-size)/size > 0.005 || math.Abs(meanR-size)/size > 0.005 {
+		t.Fatalf("estimators biased: periodic %v random %v", meanP, meanR)
+	}
+	// Periodic sampling of a contiguous packet stream has lower variance
+	// than binomial sampling (no per-packet randomness); it must not be
+	// substantially worse.
+	if sreP/trials > 1.2*(sreR/trials)+1e-9 {
+		t.Fatalf("periodic E[SRE] %v far above random %v", sreP/trials, sreR/trials)
+	}
+}

@@ -1,0 +1,25 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the scenario parser must be total — no panics on arbitrary
+// input, and any accepted scenario must satisfy its invariants.
+func FuzzParse(f *testing.F) {
+	f.Add(goodSpec)
+	f.Add("node A\n")
+	f.Add("link A B oc48 10")
+	f.Add("# only a comment\n\n")
+	f.Add("utility detection x")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.Graph.NumNodes() == 0 || len(s.Pairs) == 0 || s.Theta <= 0 {
+			t.Fatal("accepted scenario violates invariants")
+		}
+	})
+}

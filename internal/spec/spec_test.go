@@ -1,0 +1,184 @@
+package spec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"netsamp/internal/core"
+)
+
+const goodSpec = `
+# toy backbone
+node A
+node B
+node C
+node CPE
+link A B oc48 10
+link B C oc12 10
+access CPE A oc12 5
+demand A B 30000
+demand B A 25000
+pair CPE C 500      # the task: track CPE->C
+pair CPE B 2000
+theta 5000
+interval 300
+maxrate B C 0.5
+`
+
+func TestParseGood(t *testing.T) {
+	s, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", s.Graph.NumNodes())
+	}
+	if s.Graph.NumLinks() != 6 {
+		t.Fatalf("links = %d", s.Graph.NumLinks())
+	}
+	if len(s.Pairs) != 2 || s.Rates[0] != 500 || s.Rates[1] != 2000 {
+		t.Fatalf("pairs = %v rates = %v", s.Pairs, s.Rates)
+	}
+	// demands include the pairs themselves (4 total).
+	if len(s.Demands.Demands) != 4 {
+		t.Fatalf("demands = %d", len(s.Demands.Demands))
+	}
+	if s.Theta != 5000 || s.Interval != 300 {
+		t.Fatalf("theta/interval = %v/%v", s.Theta, s.Interval)
+	}
+	if len(s.MaxRates) != 1 {
+		t.Fatalf("maxrates = %v", s.MaxRates)
+	}
+	// Access link flagged.
+	cpe, _ := s.Graph.NodeByName("CPE")
+	a, _ := s.Graph.NodeByName("A")
+	lid, ok := s.Graph.FindLink(cpe, a)
+	if !ok || !s.Graph.Link(lid).Access {
+		t.Fatal("access link not flagged")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node",                           // missing name
+		"node A\nnode A",                 // duplicate
+		"blah A B",                       // unknown directive
+		"node A\nlink A B oc48 10",       // unknown node B
+		"node A\nnode B\nlink A B x 10",  // bad capacity
+		"node A\nnode B\nlink A B oc3 0", // bad weight
+		"node A\nnode B\nlink A B oc3 1\npair A B -5\ntheta 1",                 // bad rate
+		"node A\nnode B\nlink A B oc3 1\npair A B 5",                           // no theta
+		"node A\nnode B\nlink A B oc3 1\ndemand A B 5\ntheta 9",                // no pairs
+		"node A\nnode B\nlink A B oc3 1\npair A B 5\ntheta 9\nmaxrate A C 0.5", // maxrate unknown node
+		"node A\nnode B\nlink A B oc3 1\npair A B 5\ntheta 9\nmaxrate B A 2",   // bad alpha... parses? alpha>1 rejected
+		"node A\nnode B\nlink A B oc3 1\npair A B 5\ntheta 9\nutility bogus",
+		"node A\nnode B\nlink A B oc3 1\npair A B 5\ntheta 9\nutility detection 1",
+		"node A\nnode B\nlink A B oc3 1\npair A B 5\ntheta 9\nutility log 0",
+		"node A\nnode B\nnode I\nlink A B oc3 1\npair A B 5\ntheta 9", // disconnected I
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestParseCapacityNames(t *testing.T) {
+	for _, c := range []string{"oc3", "OC12", "oc48", "oc192", "1000000"} {
+		if _, err := parseCapacity(c); err != nil {
+			t.Errorf("parseCapacity(%q): %v", c, err)
+		}
+	}
+}
+
+func TestSolveSpec(t *testing.T) {
+	s, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(core.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Stats.Converged {
+		t.Fatal("spec solve did not converge")
+	}
+	// Access link must not be a candidate.
+	for _, lid := range res.Candidates {
+		if res.Scenario.Graph.Link(lid).Access {
+			t.Fatal("access link among candidates")
+		}
+	}
+	// Budget exhausted.
+	total := 0.0
+	for lid, p := range res.Rates {
+		total += p * res.Loads[lid]
+	}
+	want := s.Theta / s.Interval
+	if math.Abs(total-want) > 1e-6*want {
+		t.Fatalf("sampled rate %v, want %v", total, want)
+	}
+	// maxrate respected on B->C.
+	b, _ := s.Graph.NodeByName("B")
+	cn, _ := s.Graph.NodeByName("C")
+	bc, _ := s.Graph.FindLink(b, cn)
+	if res.Rates[bc] > 0.5+1e-9 {
+		t.Fatalf("maxrate violated: %v", res.Rates[bc])
+	}
+}
+
+func TestSolveSpecUtilities(t *testing.T) {
+	base := `
+node A
+node B
+link A B oc48 10
+pair A B 1000
+theta 3000
+`
+	for _, u := range []string{"utility sre", "utility detection 500", "utility log 0.01"} {
+		s, err := Parse(strings.NewReader(base + u + "\n"))
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		res, err := s.Solve(core.Options{}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if !res.Solution.Stats.Converged {
+			t.Fatalf("%s: did not converge", u)
+		}
+		if res.Solution.Rho[0] <= 0 {
+			t.Fatalf("%s: pair unmonitored", u)
+		}
+	}
+}
+
+func TestSolveSpecExactModel(t *testing.T) {
+	s, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(core.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Rho[0] <= 0 {
+		t.Fatal("exact-model solve produced no monitoring")
+	}
+}
+
+func TestParseSelfLoopRejected(t *testing.T) {
+	// Regression for a fuzz finding: self-loop links panicked the parser.
+	bad := []string{
+		"node B\nlink B B oc12 1",
+		"node B\naccess B B oc12 1",
+		"node A\nnode B\nlink A B oc3 1\npair A A 5\ntheta 9",
+		"node A\nnode B\nlink A B oc3 1\ndemand B B 5\npair A B 5\ntheta 9",
+	}
+	for i, c := range bad {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tomo
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+	"netsamp/internal/traffic"
+)
+
+// star builds a hub-and-spoke network: H in the middle, A,B,C spokes.
+func star(t *testing.T) (*topology.Graph, *routing.Table, []routing.ODPair, []float64) {
+	t.Helper()
+	g := topology.New()
+	h := g.AddNode("H")
+	a, b, c := g.AddNode("A"), g.AddNode("B"), g.AddNode("C")
+	g.AddDuplex(h, a, topology.OC48, 1)
+	g.AddDuplex(h, b, topology.OC48, 1)
+	g.AddDuplex(h, c, topology.OC48, 1)
+	tbl := routing.ComputeTable(g)
+	pairs := []routing.ODPair{
+		{Name: "A->B", Src: a, Dst: b},
+		{Name: "A->C", Src: a, Dst: c},
+		{Name: "B->A", Src: b, Dst: a},
+		{Name: "B->C", Src: b, Dst: c},
+		{Name: "C->A", Src: c, Dst: a},
+		{Name: "C->B", Src: c, Dst: b},
+	}
+	rates := []float64{4000, 1000, 3000, 500, 800, 200}
+	return g, tbl, pairs, rates
+}
+
+func TestTotals(t *testing.T) {
+	g, _, pairs, rates := star(t)
+	origins, dests, err := Totals(g.NumNodes(), pairs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.NodeByName("A")
+	b, _ := g.NodeByName("B")
+	if origins[a] != 5000 || dests[b] != 4200 {
+		t.Fatalf("origins[A]=%v dests[B]=%v", origins[a], dests[b])
+	}
+}
+
+func TestTotalsErrors(t *testing.T) {
+	_, _, pairs, _ := star(t)
+	if _, _, err := Totals(4, pairs, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Totals(1, pairs, make([]float64, len(pairs))); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestGravityProportionality(t *testing.T) {
+	g, _, pairs, rates := star(t)
+	origins, dests, err := Totals(g.NumNodes(), pairs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Gravity(pairs, origins, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row sums of the gravity estimate match the origin totals (up to
+	// the small diagonal leak inherent in the model).
+	total := 0.0
+	for _, e := range est {
+		total += e
+	}
+	want := 0.0
+	for _, r := range rates {
+		want += r
+	}
+	// Conditional gravity conserves total originated traffic exactly.
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Fatalf("gravity total = %v, truth %v", total, want)
+	}
+}
+
+func TestGravityError(t *testing.T) {
+	_, _, pairs, _ := star(t)
+	if _, err := Gravity(pairs, make([]float64, 4), make([]float64, 4)); err == nil {
+		t.Fatal("zero totals accepted")
+	}
+}
+
+func TestTomogravityFitsLoads(t *testing.T) {
+	g, tbl, pairs, rates := star(t)
+	matrix, err := routing.BuildMatrix(tbl, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := &traffic.Matrix{}
+	for k := range pairs {
+		demands.Demands = append(demands.Demands, traffic.Demand{Pair: pairs[k], Rate: rates[k]})
+	}
+	loads, err := traffic.LinkLoads(g, tbl, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins, dests, err := Totals(g.NumNodes(), pairs, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := Gravity(pairs, origins, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Tomogravity(Instance{Matrix: matrix, Loads: loads, NumNodes: g.NumNodes()}, prior, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrected estimate must reproduce the link loads (the defining
+	// property of tomogravity).
+	fitted := make([]float64, len(loads))
+	for k := range pairs {
+		for _, lid := range matrix.Rows[k] {
+			fitted[lid] += est[k]
+		}
+	}
+	for i := range loads {
+		if loads[i] == 0 {
+			continue
+		}
+		if math.Abs(fitted[i]-loads[i])/loads[i] > 0.01 {
+			t.Fatalf("link %d: fitted %v, observed %v", i, fitted[i], loads[i])
+		}
+	}
+	// And it must improve on the raw gravity prior in total error.
+	errOf := func(e []float64) float64 {
+		s := 0.0
+		for k := range rates {
+			s += math.Abs(e[k] - rates[k])
+		}
+		return s
+	}
+	if errOf(est) > errOf(prior)+1e-6 {
+		t.Fatalf("tomogravity error %v worse than gravity %v", errOf(est), errOf(prior))
+	}
+}
+
+func TestTomogravityPerfectPriorStays(t *testing.T) {
+	// With the truth as prior, the correction must vanish.
+	g, tbl, pairs, rates := star(t)
+	matrix, err := routing.BuildMatrix(tbl, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := &traffic.Matrix{}
+	for k := range pairs {
+		demands.Demands = append(demands.Demands, traffic.Demand{Pair: pairs[k], Rate: rates[k]})
+	}
+	loads, err := traffic.LinkLoads(g, tbl, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Tomogravity(Instance{Matrix: matrix, Loads: loads, NumNodes: g.NumNodes()}, rates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rates {
+		if math.Abs(est[k]-rates[k])/rates[k] > 0.01 {
+			t.Fatalf("pair %d moved: %v vs %v", k, est[k], rates[k])
+		}
+	}
+}
+
+func TestTomogravityValidation(t *testing.T) {
+	_, tbl, pairs, _ := star(t)
+	matrix, err := routing.BuildMatrix(tbl, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tomogravity(Instance{Matrix: matrix, Loads: make([]float64, 6)}, []float64{1}, 0); err == nil {
+		t.Fatal("bad prior length accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package topology models the backbone network the monitor-placement
+// problem is defined on: a directed graph of PoPs (points of presence)
+// connected by unidirectional links with capacities and IGP weights.
+//
+// Links are unidirectional, matching the paper's formulation ("the 72
+// unidirectional links of GEANT"); AddDuplex installs the two directions
+// of a physical circuit in one call. Access links — circuits toward
+// customer networks, whose CPE routers an ISP cannot always monitor
+// (paper Section V-C) — are flagged so the optimizer can exclude them
+// from the candidate monitor set.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node (PoP, customer network, peer AS) in a Graph.
+type NodeID int
+
+// LinkID identifies a unidirectional link in a Graph.
+type LinkID int
+
+// Common SONET/SDH line rates, in bits per second. The GEANT links in the
+// paper range from OC-3 (155 Mb/s) to OC-48 (2.5 Gb/s).
+const (
+	OC3   = 155_520_000
+	OC12  = 622_080_000
+	OC48  = 2_488_320_000
+	OC192 = 9_953_280_000
+)
+
+// Node is a vertex of the backbone graph.
+type Node struct {
+	ID   NodeID
+	Name string
+}
+
+// Link is a unidirectional edge of the backbone graph.
+type Link struct {
+	ID       LinkID
+	Src, Dst NodeID
+	// CapacityBps is the line rate in bits per second.
+	CapacityBps float64
+	// Weight is the IGP (ISIS-like) metric used by shortest-path routing.
+	Weight int
+	// Access marks customer access circuits that cannot be monitored
+	// by the ISP (paper Section V-C).
+	Access bool
+	// Down marks a failed link; routing ignores down links.
+	Down bool
+}
+
+// Name returns a human-readable "SRC->DST" label for the link within g.
+func (g *Graph) LinkName(id LinkID) string {
+	l := g.Link(id)
+	return g.Node(l.Src).Name + "->" + g.Node(l.Dst).Name
+}
+
+// Graph is a directed multigraph. The zero value is an empty graph ready
+// to use.
+type Graph struct {
+	nodes  []Node
+	links  []Link
+	out    [][]LinkID // outgoing link IDs per node
+	in     [][]LinkID // incoming link IDs per node
+	byName map[string]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node with the given unique name and returns its ID.
+// It panics if the name is empty or already present.
+func (g *Graph) AddNode(name string) NodeID {
+	if name == "" {
+		panic("topology: empty node name")
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]NodeID)
+	}
+	if _, ok := g.byName[name]; ok {
+		panic(fmt.Sprintf("topology: duplicate node %q", name))
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byName[name] = id
+	return id
+}
+
+// AddLink adds a unidirectional link and returns its ID. It panics on an
+// invalid endpoint, a self-loop, or a non-positive capacity or weight.
+func (g *Graph) AddLink(src, dst NodeID, capacityBps float64, weight int) LinkID {
+	g.checkNode(src)
+	g.checkNode(dst)
+	if src == dst {
+		panic("topology: self-loop")
+	}
+	if capacityBps <= 0 {
+		panic("topology: non-positive capacity")
+	}
+	if weight <= 0 {
+		panic("topology: non-positive weight")
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, Src: src, Dst: dst, CapacityBps: capacityBps, Weight: weight})
+	g.out[src] = append(g.out[src], id)
+	g.in[dst] = append(g.in[dst], id)
+	return id
+}
+
+// AddDuplex adds both directions of a physical circuit with the same
+// capacity and weight, returning the forward (a->b) and reverse (b->a)
+// link IDs.
+func (g *Graph) AddDuplex(a, b NodeID, capacityBps float64, weight int) (fwd, rev LinkID) {
+	fwd = g.AddLink(a, b, capacityBps, weight)
+	rev = g.AddLink(b, a, capacityBps, weight)
+	return fwd, rev
+}
+
+// MarkAccess flags the link as a customer access circuit.
+func (g *Graph) MarkAccess(id LinkID) {
+	g.checkLink(id)
+	g.links[id].Access = true
+}
+
+// SetDown marks the link up or down. Down links are skipped by routing.
+func (g *Graph) SetDown(id LinkID, down bool) {
+	g.checkLink(id)
+	g.links[id].Down = down
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of unidirectional links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node {
+	g.checkNode(id)
+	return g.nodes[id]
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link {
+	g.checkLink(id)
+	return g.links[id]
+}
+
+// NodeByName returns the node ID for name, and whether it exists.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustNode returns the node ID for name and panics if it does not exist.
+func (g *Graph) MustNode(name string) NodeID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topology: unknown node %q", name))
+	}
+	return id
+}
+
+// Out returns the IDs of the links leaving n. The returned slice must not
+// be modified.
+func (g *Graph) Out(n NodeID) []LinkID {
+	g.checkNode(n)
+	return g.out[n]
+}
+
+// In returns the IDs of the links entering n. The returned slice must not
+// be modified.
+func (g *Graph) In(n NodeID) []LinkID {
+	g.checkNode(n)
+	return g.in[n]
+}
+
+// Links returns a copy of all links, in ID order.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// Nodes returns a copy of all nodes, in ID order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// FindLink returns the ID of a link from src to dst, and whether one
+// exists. With parallel links it returns the lowest ID.
+func (g *Graph) FindLink(src, dst NodeID) (LinkID, bool) {
+	g.checkNode(src)
+	g.checkNode(dst)
+	for _, id := range g.out[src] {
+		if g.links[id].Dst == dst {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (g *Graph) checkNode(id NodeID) {
+	if id < 0 || int(id) >= len(g.nodes) {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", id, len(g.nodes)))
+	}
+}
+
+func (g *Graph) checkLink(id LinkID) {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("topology: link %d out of range [0,%d)", id, len(g.links)))
+	}
+}
+
+// Validate checks structural invariants: at least one node, and weak
+// connectivity of the non-access backbone (every node reachable from
+// node 0 ignoring direction). It returns a descriptive error on the
+// first violation.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("topology: graph has no nodes")
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.out[n] {
+			if d := g.links[id].Dst; !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+		for _, id := range g.in[n] {
+			if s := g.links[id].Src; !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("topology: node %q unreachable from %q", g.nodes[i].Name, g.nodes[0].Name)
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz DOT format. Duplex circuits are
+// rendered once as an undirected-looking edge when both directions exist
+// with equal attributes; access links are dashed.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph netsamp {\n  rankdir=LR;\n")
+	names := make([]string, len(g.nodes))
+	for i, n := range g.nodes {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, l := range g.links {
+		style := ""
+		if l.Access {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n",
+			g.nodes[l.Src].Name, g.nodes[l.Dst].Name,
+			fmt.Sprintf("w=%d", l.Weight), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

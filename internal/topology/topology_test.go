@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func triangle(t *testing.T) (*Graph, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	g.AddDuplex(a, b, OC48, 10)
+	g.AddDuplex(b, c, OC12, 10)
+	g.AddDuplex(a, c, OC3, 30)
+	return g, a, b, c
+}
+
+func TestAddNodeAndLookup(t *testing.T) {
+	g := New()
+	a := g.AddNode("UK")
+	if got := g.Node(a).Name; got != "UK" {
+		t.Fatalf("Node name = %q", got)
+	}
+	id, ok := g.NodeByName("UK")
+	if !ok || id != a {
+		t.Fatalf("NodeByName = %v, %v", id, ok)
+	}
+	if _, ok := g.NodeByName("FR"); ok {
+		t.Fatal("NodeByName found nonexistent node")
+	}
+	if g.MustNode("UK") != a {
+		t.Fatal("MustNode mismatch")
+	}
+}
+
+func TestMustNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNode on unknown name did not panic")
+		}
+	}()
+	New().MustNode("nope")
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	g := New()
+	g.AddNode("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	g.AddNode("A")
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	cases := []func(){
+		func() { g.AddLink(a, a, OC3, 1) },  // self loop
+		func() { g.AddLink(a, b, 0, 1) },    // zero capacity
+		func() { g.AddLink(a, b, OC3, 0) },  // zero weight
+		func() { g.AddLink(a, b, OC3, -2) }, // negative weight
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDuplexAdjacency(t *testing.T) {
+	g, a, b, c := triangle(t)
+	if g.NumNodes() != 3 || g.NumLinks() != 6 {
+		t.Fatalf("size = %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if len(g.Out(a)) != 2 || len(g.In(a)) != 2 {
+		t.Fatalf("A degree out=%d in=%d", len(g.Out(a)), len(g.In(a)))
+	}
+	id, ok := g.FindLink(b, c)
+	if !ok {
+		t.Fatal("FindLink(B, C) missing")
+	}
+	l := g.Link(id)
+	if l.Src != b || l.Dst != c || l.CapacityBps != OC12 {
+		t.Fatalf("link = %+v", l)
+	}
+	if _, ok := g.FindLink(c, a); !ok {
+		t.Fatal("reverse direction missing")
+	}
+}
+
+func TestLinkName(t *testing.T) {
+	g, a, b, _ := triangle(t)
+	id, _ := g.FindLink(a, b)
+	if got := g.LinkName(id); got != "A->B" {
+		t.Fatalf("LinkName = %q", got)
+	}
+}
+
+func TestMarkAccessAndDown(t *testing.T) {
+	g, a, b, _ := triangle(t)
+	id, _ := g.FindLink(a, b)
+	g.MarkAccess(id)
+	if !g.Link(id).Access {
+		t.Fatal("MarkAccess did not stick")
+	}
+	g.SetDown(id, true)
+	if !g.Link(id).Down {
+		t.Fatal("SetDown did not stick")
+	}
+	g.SetDown(id, false)
+	if g.Link(id).Down {
+		t.Fatal("SetDown(false) did not stick")
+	}
+}
+
+func TestValidateConnected(t *testing.T) {
+	g, _, _, _ := triangle(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	g := New()
+	g.AddNode("A")
+	g.AddNode("Island")
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a disconnected graph")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Fatal("Validate accepted empty graph")
+	}
+}
+
+func TestLinksNodesAreCopies(t *testing.T) {
+	g, _, _, _ := triangle(t)
+	links := g.Links()
+	links[0].Weight = 999
+	if g.Link(0).Weight == 999 {
+		t.Fatal("Links() exposed internal storage")
+	}
+	nodes := g.Nodes()
+	nodes[0].Name = "mutated"
+	if g.Node(0).Name == "mutated" {
+		t.Fatal("Nodes() exposed internal storage")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, a, b, _ := triangle(t)
+	id, _ := g.FindLink(a, b)
+	g.MarkAccess(id)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", `"A" -> "B"`, "style=dashed", `"C"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g, _, _, _ := triangle(t)
+	cases := []func(){
+		func() { g.Node(99) },
+		func() { g.Link(99) },
+		func() { g.Out(NodeID(-1)) },
+		func() { g.Link(LinkID(-1)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

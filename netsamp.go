@@ -1,0 +1,215 @@
+// Package netsamp is an open-source implementation of the joint monitor
+// activation and sampling-rate optimization of Cantieni, Iannaccone,
+// Barakat, Diot and Thiran, "Reformulating the Monitor Placement
+// Problem: Optimal Network-Wide Sampling" (CoNEXT 2006).
+//
+// Given a backbone where every link can host a NetFlow-style packet
+// sampler, netsamp answers: which monitors should be activated, and at
+// what sampling rate, so that a measurement task — estimating the sizes
+// of a set of origin-destination (OD) pairs — is achieved with maximum
+// accuracy under a network-wide resource budget θ? Placement and rate
+// selection fall out of one convex program solved by gradient projection
+// with KKT verification; links whose optimal rate is zero simply keep
+// their monitors off.
+//
+// The typical workflow:
+//
+//	g := netsamp.NewGraph()                       // build the topology
+//	... g.AddNode / g.AddDuplex ...
+//	tbl := netsamp.ComputeRouting(g)              // ISIS-like SPF
+//	m, _ := netsamp.BuildRoutingMatrix(tbl, pairs)
+//	loads, _ := netsamp.LinkLoads(g, tbl, demands)
+//	prob, _, _ := netsamp.BuildProblem(netsamp.PlanInput{
+//	    Matrix: m, Loads: loads, Candidates: candidates,
+//	    InvMeanSizes: invSizes, Budget: netsamp.BudgetPerInterval(1e5, 300),
+//	})
+//	sol, _ := netsamp.Solve(prob, netsamp.Options{})
+//	rates := netsamp.RatesByLink(sol, candidates)  // deploy these
+//
+// The packages under internal/ implement the substrates (topology,
+// routing, traffic, NetFlow export pipeline, sampling simulator,
+// GEANT evaluation scenario); this package re-exports the public
+// surface. cmd/netsamp regenerates every table and figure of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package netsamp
+
+import (
+	"netsamp/internal/control"
+	"netsamp/internal/core"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+	"netsamp/internal/traffic"
+)
+
+// Topology surface.
+type (
+	// Graph is a directed backbone multigraph of PoPs and links.
+	Graph = topology.Graph
+	// Node is a vertex of the graph; NodeID identifies it.
+	Node = topology.Node
+	// NodeID identifies a node within a Graph.
+	NodeID = topology.NodeID
+	// Link is a unidirectional edge; LinkID identifies it.
+	Link = topology.Link
+	// LinkID identifies a link within a Graph.
+	LinkID = topology.LinkID
+)
+
+// SONET/SDH line rates (bits per second) for Link capacities.
+const (
+	OC3   = topology.OC3
+	OC12  = topology.OC12
+	OC48  = topology.OC48
+	OC192 = topology.OC192
+)
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph { return topology.New() }
+
+// Routing surface.
+type (
+	// RoutingTable holds all-pairs shortest paths.
+	RoutingTable = routing.Table
+	// ODPair names one origin-destination pair of a measurement task.
+	ODPair = routing.ODPair
+	// RoutingMatrix is the per-pair link incidence (the matrix R).
+	RoutingMatrix = routing.Matrix
+	// Path is a directed path through the graph.
+	Path = routing.Path
+)
+
+// ComputeRouting runs SPF from every node.
+func ComputeRouting(g *Graph) *RoutingTable { return routing.ComputeTable(g) }
+
+// BuildRoutingMatrix routes the OD pairs and assembles the matrix R.
+func BuildRoutingMatrix(t *RoutingTable, pairs []ODPair) (*RoutingMatrix, error) {
+	return routing.BuildMatrix(t, pairs)
+}
+
+// Traffic surface.
+type (
+	// Demand is one OD pair's offered packet rate.
+	Demand = traffic.Demand
+	// TrafficMatrix is a set of demands.
+	TrafficMatrix = traffic.Matrix
+)
+
+// Gravity generates a gravity-model traffic matrix (see traffic.Gravity).
+var Gravity = traffic.Gravity
+
+// LinkLoads routes a traffic matrix and returns per-link packet rates.
+var LinkLoads = traffic.LinkLoads
+
+// Optimization surface (the paper's contribution).
+type (
+	// Problem is one instance of the network-wide sampling problem.
+	Problem = core.Problem
+	// Pair is one OD pair of the measurement task within a Problem.
+	Pair = core.Pair
+	// Utility scores the information of a measurement at rate ρ.
+	Utility = core.Utility
+	// SRE is the paper's squared-relative-error utility.
+	SRE = core.SRE
+	// Options tunes the gradient-projection solver.
+	Options = core.Options
+	// Solution is the optimizer output with its KKT certificate.
+	Solution = core.Solution
+	// Stats describes a solver run.
+	Stats = core.Stats
+	// MaxMinOptions tunes the max-min extension solver.
+	MaxMinOptions = core.MaxMinOptions
+)
+
+// NewSRE builds the SRE utility for mean inverse OD size c = E[1/S].
+var NewSRE = core.NewSRE
+
+// Solve runs the gradient projection method and returns the optimum.
+var Solve = core.Solve
+
+// SolveMaxMin approximately maximizes the worst pair's utility (the
+// alternative objective the paper defers to future work).
+var SolveMaxMin = core.SolveMaxMin
+
+// BudgetPerInterval converts θ packets-per-interval into the sampled
+// packet rate used by Problem.Budget.
+var BudgetPerInterval = core.BudgetPerInterval
+
+// Planning surface: mapping between topology links and dense problems.
+type (
+	// PlanInput assembles a problem from substrate objects.
+	PlanInput = plan.Input
+)
+
+// BuildProblem maps a PlanInput onto a dense Problem and returns the
+// LinkID→index mapping.
+var BuildProblem = plan.Build
+
+// RatesByLink maps a Solution's rates back to topology links.
+var RatesByLink = plan.RatesByLink
+
+// EffectiveRates computes per-pair effective sampling rates of any
+// per-link rate assignment.
+var EffectiveRates = plan.EffectiveRates
+
+// SampledRate returns Σ p_i·U_i of a per-link assignment.
+var SampledRate = plan.SampledRate
+
+// Scenario surface: the paper's GEANT evaluation setting.
+type (
+	// GEANTScenario is the synthetic GEANT-2004 evaluation scenario.
+	GEANTScenario = geant.Scenario
+)
+
+// BuildGEANT constructs the synthetic GEANT scenario for a seed.
+var BuildGEANT = geant.Build
+
+// ECMP surface: equal-cost multipath routing with fractional matrix
+// entries (see routing.BuildMatrixECMP).
+
+// BuildRoutingMatrixECMP routes OD pairs over the full equal-cost DAG,
+// producing fractional routing-matrix entries.
+var BuildRoutingMatrixECMP = routing.BuildMatrixECMP
+
+// LinkLoadsECMP accumulates per-link loads with equal-cost splitting.
+var LinkLoadsECMP = traffic.LinkLoadsECMP
+
+// Additional utility families (the paper's Section VI directions).
+type (
+	// Detection is the anomaly-detection utility 1-(1-ρ)^Size.
+	Detection = core.Detection
+	// LogCoverage is the proportional-fairness coverage utility.
+	LogCoverage = core.LogCoverage
+)
+
+// NewDetection builds the anomaly-detection utility for events of the
+// given packet footprint.
+var NewDetection = core.NewDetection
+
+// NewLogCoverage builds the log coverage utility with scale c.
+var NewLogCoverage = core.NewLogCoverage
+
+// Diurnal is a day-shaped traffic profile for multi-interval studies.
+type Diurnal = traffic.Diurnal
+
+// SolveMaxMinExact computes the certified max-min optimum by bisection
+// over LP feasibility probes (see core.SolveMaxMinExact).
+var SolveMaxMinExact = core.SolveMaxMinExact
+
+// Inverter is implemented by utilities with a closed-form inverse.
+type Inverter = core.Inverter
+
+// Controller surface: continuous operation of the optimizer with load
+// smoothing and activation hysteresis (internal/control).
+type (
+	// Controller re-optimizes per interval with churn suppression.
+	Controller = control.Controller
+	// ControllerOptions tunes the controller.
+	ControllerOptions = control.Options
+	// ControllerDecision is the per-interval output.
+	ControllerDecision = control.Decision
+)
+
+// NewController builds a monitoring controller.
+var NewController = control.New
