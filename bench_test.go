@@ -11,6 +11,7 @@ package netsamp_test
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -61,13 +62,41 @@ func BenchmarkFigure1Utility(b *testing.B) {
 }
 
 // BenchmarkTable1Optimization solves the Table I instance (the JANET
-// task at θ = 100,000 packets per 5-minute interval).
+// task at θ = 100,000 packets per 5-minute interval) through the
+// one-shot path: every call re-validates, re-compiles and allocates.
 func BenchmarkTable1Optimization(b *testing.B) {
 	prob := benchProblem(b, benchScenario(b), false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sol, err := core.Solve(prob, core.Options{})
 		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Stats.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkSolveReuse solves the same instance through a compiled
+// Solver reusing one Solution — the steady state of a controller
+// re-optimizing every interval. Steady-state iterations allocate
+// nothing (pinned by TestSolveIntoZeroAllocs).
+func BenchmarkSolveReuse(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), false)
+	s, err := core.NewSolver(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sol core.Solution
+	if err := s.SolveInto(&sol, core.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SolveInto(&sol, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 		if !sol.Stats.Converged {
@@ -89,25 +118,55 @@ func BenchmarkTable1WithSimulation(b *testing.B) {
 }
 
 // BenchmarkFigure2Sweep regenerates a Figure 2 sweep (optimal vs
-// UK-links-only across the θ range, 5 sampling trials per point).
+// UK-links-only across the θ range, 5 sampling trials per point) on a
+// single worker — the sequential baseline for BenchmarkFigure2Parallel.
 func BenchmarkFigure2Sweep(b *testing.B) {
 	s := benchScenario(b)
 	thetas := eval.DefaultThetas()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Figure2(s, thetas, 5, 3); err != nil {
+		if _, err := eval.Figure2Ctx(context.Background(), s, thetas, 5, 3, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Parallel runs the same sweep on the engine's full
+// worker pool (one worker per CPU). The result is byte-identical to the
+// sequential run; only the wall-clock changes.
+func BenchmarkFigure2Parallel(b *testing.B) {
+	s := benchScenario(b)
+	thetas := eval.DefaultThetas()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure2Ctx(context.Background(), s, thetas, 5, 3, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkConvergenceStudy runs the Section IV-D randomized-instance
-// study (20 instances per iteration).
+// study (20 instances per iteration) on a single worker — the sequential
+// baseline for BenchmarkConvergenceStudyParallel.
 func BenchmarkConvergenceStudy(b *testing.B) {
 	s := benchScenario(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.ConvergenceStudy(s, 20, 11); err != nil {
+		if _, err := eval.ConvergenceStudyCtx(context.Background(), s, 20, 11, core.Options{}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergenceStudyParallel runs the same study on the engine's
+// full worker pool.
+func BenchmarkConvergenceStudyParallel(b *testing.B) {
+	s := benchScenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ConvergenceStudyCtx(context.Background(), s, 20, 11, core.Options{}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

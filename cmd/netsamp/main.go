@@ -5,21 +5,24 @@
 //
 //	netsamp figure1  [-points N]
 //	netsamp table1   [-theta N] [-trials N] [-seed N] [-csv] [-abilene]
-//	netsamp figure2  [-trials N] [-seed N] [-csv] [-ext]
-//	netsamp convergence [-runs N] [-seed N] [-nopre]
+//	netsamp figure2  [-trials N] [-seed N] [-csv] [-ext] [-workers N]
+//	netsamp convergence [-runs N] [-seed N] [-nopre] [-workers N]
 //	netsamp accesslink  [-theta N]
 //	netsamp maxmin   [-theta N]
-//	netsamp detect   [-theta N] [-size N]
-//	netsamp tm       [-theta N] [-trials N]
-//	netsamp dynamic  [-intervals N] [-theta N]
+//	netsamp detect   [-theta N] [-size N] [-workers N]
+//	netsamp tm       [-theta N] [-trials N] [-workers N]
+//	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
 //	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
 //	netsamp topo
 //	netsamp all
 //
-// Every experiment is deterministic for a given seed.
+// Every experiment is deterministic for a given seed, and the studies
+// that accept -workers produce bit-identical output for every worker
+// count (per-job RNG streams are split-seeded by job index).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -105,6 +108,13 @@ func scenarioFlags(fs *flag.FlagSet) *uint64 {
 	return fs.Uint64("seed", 1, "scenario seed (background traffic jitter)")
 }
 
+// workersFlag registers -workers for the experiments that run on the
+// engine's worker pool. Results are identical for every worker count;
+// the flag only trades wall-clock time for CPU.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "parallel solver workers (0 = GOMAXPROCS); results are worker-count independent")
+}
+
 func cmdFigure1(args []string) error {
 	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
 	points := fs.Int("points", 41, "number of abscissa points")
@@ -145,19 +155,20 @@ func cmdFigure2(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
 	ext := fs.Bool("ext", false, "add uniform and two-phase-greedy baseline series")
 	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
 	}
 	if *ext {
-		pts, err := eval.Figure2Extended(s, eval.DefaultThetas(), *trials, *seed+2000)
+		pts, err := eval.Figure2ExtendedCtx(context.Background(), s, eval.DefaultThetas(), *trials, *seed+2000, *workers)
 		if err != nil {
 			return err
 		}
 		return eval.RenderFigure2Extended(os.Stdout, pts)
 	}
-	points, err := eval.Figure2(s, eval.DefaultThetas(), *trials, *seed+2000)
+	points, err := eval.Figure2Ctx(context.Background(), s, eval.DefaultThetas(), *trials, *seed+2000, *workers)
 	if err != nil {
 		return err
 	}
@@ -173,13 +184,14 @@ func cmdConvergence(args []string) error {
 	runs := fs.Int("runs", 200, "number of randomized solver runs (paper: 200)")
 	nopre := fs.Bool("nopre", false, "disable the preconditioner (the paper's plain method)")
 	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
 	}
-	res, err := eval.ConvergenceStudyWithOptions(s, *runs, *seed+3000,
-		core.Options{DisablePreconditioner: *nopre})
+	res, err := eval.ConvergenceStudyCtx(context.Background(), s, *runs, *seed+3000,
+		core.Options{DisablePreconditioner: *nopre}, *workers)
 	if err != nil {
 		return err
 	}
@@ -261,12 +273,13 @@ func cmdTM(args []string) error {
 	theta := fs.Float64("theta", 100000, "budget in packets per interval")
 	trials := fs.Int("trials", 20, "sampling experiments per OD pair")
 	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
 	}
-	res, err := eval.TMStudy(s, *theta, *trials, *seed+5000)
+	res, err := eval.TMStudyCtx(context.Background(), s, *theta, *trials, *seed+5000, *workers)
 	if err != nil {
 		return err
 	}
@@ -278,12 +291,13 @@ func cmdDetect(args []string) error {
 	theta := fs.Float64("theta", 100000, "budget in packets per interval")
 	size := fs.Int("size", 500, "anomalous event footprint in packets per interval")
 	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
 	}
-	res, err := eval.DetectionStudy(s, *theta, *size)
+	res, err := eval.DetectionStudyCtx(context.Background(), s, *theta, *size, *workers)
 	if err != nil {
 		return err
 	}
@@ -295,12 +309,13 @@ func cmdDynamic(args []string) error {
 	intervals := fs.Int("intervals", 24, "number of 5-minute intervals to simulate")
 	theta := fs.Float64("theta", 100000, "budget \u03b8 in packets per interval")
 	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
 	}
-	res, err := eval.DynamicStudy(s, *intervals, *theta, *seed+4000)
+	res, err := eval.DynamicStudyCtx(context.Background(), s, *intervals, *theta, *seed+4000, *workers)
 	if err != nil {
 		return err
 	}

@@ -19,11 +19,14 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/plan"
+	"netsamp/internal/rng"
 	"netsamp/internal/routing"
 	"netsamp/internal/topology"
 )
@@ -261,4 +264,40 @@ func FixedRate(m *routing.Matrix, loads []float64, candidates []topology.LinkID,
 // BudgetConsumed returns the sampled packet rate an assignment costs.
 func (a *Assignment) BudgetConsumed(loads []float64) float64 {
 	return plan.SampledRate(a.Rates, loads)
+}
+
+// Comparator is one deferred baseline evaluation for CompareAll: a
+// strategy name plus the closure that builds its assignment.
+type Comparator struct {
+	Name  string
+	Build func() (*Assignment, error)
+}
+
+// Standard returns the comparator set the evaluation sweeps run against
+// the optimizer at a shared budget: uniform network-wide sampling and
+// the decoupled two-phase placement heuristic.
+func Standard(m *routing.Matrix, loads []float64, candidates []topology.LinkID, pairRates []float64, budget float64) []Comparator {
+	return []Comparator{
+		{Name: "uniform", Build: func() (*Assignment, error) {
+			return Uniform(m, loads, candidates, budget)
+		}},
+		{Name: "two-phase-greedy", Build: func() (*Assignment, error) {
+			return TwoPhaseGreedy(m, loads, candidates, pairRates, budget, 0)
+		}},
+	}
+}
+
+// CompareAll evaluates the comparators concurrently on the engine's
+// worker pool (workers = 0 selects GOMAXPROCS) and returns the
+// assignments in comparator order. A failing comparator is reported with
+// its name; the others still complete.
+func CompareAll(ctx context.Context, workers int, comps []Comparator) ([]*Assignment, error) {
+	return engine.Map(ctx, engine.Options{Workers: workers}, len(comps),
+		func(_ context.Context, i int, _ *rng.Source) (*Assignment, error) {
+			a, err := comps[i].Build()
+			if err != nil {
+				return nil, fmt.Errorf("baseline: %s: %w", comps[i].Name, err)
+			}
+			return a, nil
+		})
 }

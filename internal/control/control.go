@@ -18,12 +18,15 @@
 package control
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/plan"
+	"netsamp/internal/rng"
 	"netsamp/internal/routing"
 	"netsamp/internal/topology"
 )
@@ -96,6 +99,14 @@ func (c *Controller) Steps() int { return c.steps }
 // LinkID) and per-pair utility parameters, and returns the plan to
 // deploy. candidates is the monitorable link set for this interval.
 func (c *Controller) Step(matrix *routing.Matrix, loads []float64, candidates []topology.LinkID, invSizes []float64) (*Decision, error) {
+	return c.StepContext(context.Background(), matrix, loads, candidates, invSizes, 0)
+}
+
+// StepContext is Step with cancellation. The interval's two solves — the
+// unconstrained optimum and the retained-set re-tune the hysteresis rule
+// compares it against — are independent, so they run as concurrent
+// engine jobs.
+func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, loads []float64, candidates []topology.LinkID, invSizes []float64, workers int) (*Decision, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("control: empty candidate set")
 	}
@@ -125,9 +136,31 @@ func (c *Controller) Step(matrix *routing.Matrix, loads []float64, candidates []
 		return core.Solve(prob, c.opts.Solve)
 	}
 
-	// Unconstrained optimum over the full candidate set.
-	full, err := solveOn(candidates)
-	if err != nil {
+	// Retained-set plan: re-tune rates on the intersection of the old
+	// active set with today's candidates (only meaningful once a set is
+	// active and hysteresis is on). A failing retained solve means a pair
+	// lost coverage — the set is infeasible and we must switch, so its
+	// error is deliberately demoted to "no retained plan".
+	var retained []topology.LinkID
+	if c.active != nil && c.opts.SwitchGain != 0 {
+		retained = intersect(c.active, candidates)
+	}
+
+	var full, retainedSol *core.Solution
+	jobs := []engine.Job{
+		func(context.Context, *rng.Source) error {
+			var err error
+			full, err = solveOn(candidates)
+			return err
+		},
+	}
+	if len(retained) > 0 {
+		jobs = append(jobs, func(context.Context, *rng.Source) error {
+			retainedSol, _ = solveOn(retained)
+			return nil
+		})
+	}
+	if err := engine.Run(ctx, engine.Options{Workers: workers}, jobs...); err != nil {
 		return nil, err
 	}
 	fullRates := plan.RatesByLink(full, candidates)
@@ -141,17 +174,6 @@ func (c *Controller) Step(matrix *routing.Matrix, loads []float64, candidates []
 		return &Decision{Plan: fullRates, Solution: full, SetChanged: changed}, nil
 	}
 
-	// Retained-set plan: re-tune rates on the intersection of the old
-	// active set with today's candidates. If any pair loses coverage the
-	// retained set is infeasible and we must switch.
-	retained := intersect(c.active, candidates)
-	var retainedSol *core.Solution
-	if len(retained) > 0 {
-		retainedSol, err = solveOn(retained)
-		if err != nil {
-			retainedSol = nil // e.g. a pair has no link in the retained set
-		}
-	}
 	if retainedSol == nil {
 		c.active = fullSet
 		return &Decision{Plan: fullRates, Solution: full, SetChanged: true}, nil

@@ -1,7 +1,10 @@
 package control
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"netsamp/internal/core"
@@ -268,5 +271,63 @@ func TestStepEmptyCandidates(t *testing.T) {
 	}
 	if _, err := ctl.Step(s.Matrix, s.Loads, nil, inv); err == nil {
 		t.Fatal("empty candidate set accepted")
+	}
+}
+
+// TestStepContextMatchesStep: the concurrent two-solve StepContext path
+// must make the same decisions as the sequential Step wrapper — the
+// parallel full/retained solves share no state and float work is
+// aggregated deterministically.
+func TestStepContextMatchesStep(t *testing.T) {
+	s, inv := setup(t)
+	mk := func() *Controller {
+		c, err := New(Options{
+			Budget:      core.BudgetPerInterval(100000, 300),
+			SwitchGain:  0.01,
+			SmoothAlpha: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	r := rng.New(31)
+	for i := 0; i < 6; i++ {
+		loads := make([]float64, len(s.Loads))
+		for j, u := range s.Loads {
+			loads[j] = u * (0.9 + 0.2*r.Float64())
+		}
+		da, err := a.Step(s.Matrix, loads, s.MonitorLinks, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.StepContext(context.Background(), s.Matrix, loads, s.MonitorLinks, inv, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da.SetChanged != db.SetChanged || da.Gain != db.Gain {
+			t.Fatalf("interval %d: decision diverged: %+v vs %+v", i, da, db)
+		}
+		if !reflect.DeepEqual(da.Plan, db.Plan) {
+			t.Fatalf("interval %d: plans diverged", i)
+		}
+		if !sameSet(a.ActiveSet(), b.ActiveSet()) {
+			t.Fatalf("interval %d: active sets diverged", i)
+		}
+	}
+}
+
+// TestStepContextCancelled: a cancelled context aborts the interval.
+func TestStepContextCancelled(t *testing.T) {
+	s, inv := setup(t)
+	c, err := New(Options{Budget: core.BudgetPerInterval(100000, 300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.StepContext(ctx, s.Matrix, s.Loads, s.MonitorLinks, inv, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

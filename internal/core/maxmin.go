@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 )
 
@@ -57,12 +58,19 @@ func (o MaxMinOptions) damping() float64 {
 // optimum of the max-min program; the stated-problem solver with its
 // optimality certificate remains Solve.
 func SolveMaxMin(p *Problem, opt MaxMinOptions) (*Solution, error) {
-	if err := p.Validate(); err != nil {
+	return SolveMaxMinContext(context.Background(), p, opt)
+}
+
+// SolveMaxMinContext is SolveMaxMin with cancellation between reweighting
+// rounds. All rounds share one compiled Solver workspace — the weights
+// are re-tuned through Solver.SetWeights, so the caller's Problem is
+// never copied or mutated and the per-round solves reuse every buffer.
+func SolveMaxMinContext(ctx context.Context, p *Problem, opt MaxMinOptions) (*Solution, error) {
+	s, err := NewSolver(p)
+	if err != nil {
 		return nil, err
 	}
 	nPairs := len(p.Pairs)
-	work := *p
-	work.Pairs = append([]Pair(nil), p.Pairs...)
 	weights := make([]float64, nPairs)
 	for k := range weights {
 		weights[k] = 1
@@ -72,10 +80,13 @@ func SolveMaxMin(p *Problem, opt MaxMinOptions) (*Solution, error) {
 	bestMin := math.Inf(-1)
 	damp := opt.damping()
 	for round := 0; round < opt.rounds(); round++ {
-		for k := range work.Pairs {
-			work.Pairs[k].Weight = weights[k]
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		sol, err := Solve(&work, opt.Solve)
+		if err := s.SetWeights(weights); err != nil {
+			return nil, err
+		}
+		sol, err := s.Solve(opt.Solve)
 		if err != nil {
 			return nil, err
 		}

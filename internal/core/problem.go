@@ -106,6 +106,11 @@ func (p *Problem) Validate() error {
 	if len(p.Pairs) == 0 {
 		return fmt.Errorf("core: no OD pairs")
 	}
+	// One stamp array shared by every pair's duplicate-link scan: seen[l]
+	// holds the 1-based index of the last pair that referenced link l.
+	// This replaces the per-pair map the validator used to rebuild, and
+	// it runs once per Solver compile — Solver.Solve never re-validates.
+	seen := make([]int, n)
 	for k, pr := range p.Pairs {
 		if pr.Utility == nil {
 			return fmt.Errorf("core: pair %d (%q) has no utility", k, pr.Name)
@@ -113,15 +118,14 @@ func (p *Problem) Validate() error {
 		if len(pr.Links) == 0 {
 			return fmt.Errorf("core: pair %d (%q) traverses no candidate link", k, pr.Name)
 		}
-		seen := make(map[int]bool, len(pr.Links))
 		for _, l := range pr.Links {
 			if l < 0 || l >= n {
 				return fmt.Errorf("core: pair %d (%q) references link %d out of range [0,%d)", k, pr.Name, l, n)
 			}
-			if seen[l] {
+			if seen[l] == k+1 {
 				return fmt.Errorf("core: pair %d (%q) references link %d twice", k, pr.Name, l)
 			}
-			seen[l] = true
+			seen[l] = k + 1
 		}
 		if pr.Fracs != nil {
 			if len(pr.Fracs) != len(pr.Links) {

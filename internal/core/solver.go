@@ -113,177 +113,41 @@ const snapTol = 1e-12
 // feasible; Stats.Converged reports whether it carries a KKT optimality
 // certificate (in the paper's experiments 98.6% of runs converge within
 // 2000 iterations).
+//
+// Solve is a one-shot convenience wrapper: it validates and compiles the
+// problem on every call. Callers that solve the same problem shape
+// repeatedly (θ-sweeps, reweighted rounds, per-interval re-optimization)
+// should build a Solver once and reuse it — repeated Solver.SolveInto
+// calls are allocation-free in steady state.
 func Solve(p *Problem, opt Options) (*Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	n := p.NumLinks()
-	tol := opt.tol()
-
-	rates, err := initialPoint(p, opt)
+	s, err := NewSolver(p)
 	if err != nil {
 		return nil, err
 	}
-
-	lower := make([]bool, n) // p_i = 0 active
-	upper := make([]bool, n) // p_i = α_i active
-	syncActive(p, rates, lower, upper)
-
-	g := make([]float64, n)
-	d := make([]float64, n)
-	sdir := make([]float64, n)
-	prevD := make([]float64, n)
-	havePrev := false
-
-	var stats Stats
-	for stats.Iterations = 0; stats.Iterations < opt.maxIter(); stats.Iterations++ {
-		reproject(p, rates, lower, upper)
-		p.Gradient(rates, g)
-
-		free := countFree(lower, upper)
-		if free == 0 {
-			// Fully constrained vertex: optimal iff some λ satisfies all
-			// bound multipliers; otherwise free the violators.
-			if ok := vertexKKT(p, g, lower, upper, tol); ok {
-				return finish(p, rates, g, lower, upper, stats, true), nil
-			}
-			deactivateVertex(p, g, lower, upper)
-			stats.Removals++
-			havePrev = false
-			continue
-		}
-
-		lambda := projectionLambda(p, g, lower, upper)
-		for i := 0; i < n; i++ {
-			if lower[i] || upper[i] {
-				d[i] = 0
-			} else {
-				d[i] = g[i] - lambda*p.Loads[i]
-			}
-		}
-
-		if normInf(d) <= tol*(1+normInf(g)) {
-			// (convergence test is on the unpreconditioned residual)
-			// Projected gradient vanished: verify KKT at this point.
-			if multipliersOK(p, g, lambda, lower, upper, tol) {
-				return finish(p, rates, g, lower, upper, stats, true), nil
-			}
-			// Paper's strategy: de-activate every active constraint whose
-			// multiplier is negative and resume the search.
-			removed := deactivateNegative(p, g, lambda, lower, upper, tol)
-			if removed == 0 {
-				// Numerical corner: multipliers marginally negative but
-				// below deactivation threshold. Treat as converged.
-				return finish(p, rates, g, lower, upper, stats, true), nil
-			}
-			stats.Removals++
-			havePrev = false
-			continue
-		}
-
-		// Precondition with the diagonal metric 1/U_i²: equivalent to
-		// taking the steepest-ascent direction in sampled-rate space
-		// q_i = p_i·U_i, where the budget hyperplane Σq = θ is isotropic.
-		// Without it the projected gradient zig-zags badly when loads
-		// span orders of magnitude. The preconditioned direction must be
-		// re-projected onto the hyperplane (in the scaled metric the
-		// multiplier is the mean of g_i/U_i over free coordinates).
-		if !opt.DisablePreconditioner {
-			nFree, lamW := 0, 0.0
-			for i := 0; i < n; i++ {
-				if !lower[i] && !upper[i] {
-					lamW += g[i] / p.Loads[i]
-					nFree++
-				}
-			}
-			lamW /= float64(nFree)
-			for i := 0; i < n; i++ {
-				if lower[i] || upper[i] {
-					d[i] = 0
-				} else {
-					d[i] = (g[i] - lamW*p.Loads[i]) / (p.Loads[i] * p.Loads[i])
-				}
-			}
-		}
-
-		// Polak-Ribière blend of the previous direction (Section IV-D).
-		copy(sdir, d)
-		if !opt.DisablePolakRibiere && havePrev {
-			num, den := 0.0, 0.0
-			for i := 0; i < n; i++ {
-				num += d[i] * (d[i] - prevD[i])
-				den += prevD[i] * prevD[i]
-			}
-			if den > 0 {
-				beta := num / den
-				if beta > 0 {
-					for i := 0; i < n; i++ {
-						sdir[i] = d[i] + beta*prevD[i]
-					}
-					// The blended direction must remain an ascent
-					// direction; otherwise restart from the projection.
-					if dot(sdir, g) <= 0 {
-						copy(sdir, d)
-					}
-				}
-			}
-		}
-		copy(prevD, d)
-		havePrev = true
-
-		tMax, blocking := maxStep(p, rates, sdir, lower, upper)
-		if tMax <= 0 {
-			// A constraint is binding in the search direction at step
-			// zero: activate it and recompute the projection.
-			if blocking >= 0 {
-				activate(p, rates, blocking, lower, upper)
-				havePrev = false
-				continue
-			}
-			// Direction is zero on free coordinates; should have been
-			// caught by the norm test above.
-			return finish(p, rates, g, lower, upper, stats, false), nil
-		}
-
-		t, hitMax := lineSearch(p, rates, sdir, tMax, opt)
-		for i := 0; i < n; i++ {
-			if !lower[i] && !upper[i] {
-				rates[i] += t * sdir[i]
-			}
-		}
-		if hitMax && blocking >= 0 {
-			activate(p, rates, blocking, lower, upper)
-			havePrev = false
-		}
-		syncActive(p, rates, lower, upper)
-	}
-
-	reproject(p, rates, lower, upper)
-	p.Gradient(rates, g)
-	return finish(p, rates, g, lower, upper, stats, false), nil
+	return s.Solve(opt)
 }
 
-// initialPoint returns a feasible start: the caller's point (validated)
-// or the waterfilling point min(α_i, τ/U_i) with τ chosen so the budget
-// holds with equality.
-func initialPoint(p *Problem, opt Options) ([]float64, error) {
+// initialPointInto writes a feasible start into rates (length NumLinks):
+// the caller's point (validated) or the waterfilling point
+// min(α_i, τ/U_i) with τ chosen so the budget holds with equality.
+func initialPointInto(p *Problem, opt Options, rates []float64) error {
 	n := p.NumLinks()
 	if opt.Initial != nil {
 		if len(opt.Initial) != n {
-			return nil, fmt.Errorf("core: initial point has %d entries for %d links", len(opt.Initial), n)
+			return fmt.Errorf("core: initial point has %d entries for %d links", len(opt.Initial), n)
 		}
-		rates := append([]float64(nil), opt.Initial...)
+		copy(rates, opt.Initial)
 		total := 0.0
 		for i, r := range rates {
 			if r < -snapTol || r > p.alpha(i)+snapTol {
-				return nil, fmt.Errorf("core: initial rate %v of link %d violates [0, %v]", r, i, p.alpha(i))
+				return fmt.Errorf("core: initial rate %v of link %d violates [0, %v]", r, i, p.alpha(i))
 			}
 			total += r * p.Loads[i]
 		}
 		if math.Abs(total-p.Budget) > 1e-6*math.Max(1, p.Budget) {
-			return nil, fmt.Errorf("core: initial point uses %v of budget %v", total, p.Budget)
+			return fmt.Errorf("core: initial point uses %v of budget %v", total, p.Budget)
 		}
-		return rates, nil
+		return nil
 	}
 	// Waterfill: Σ_i min(α_i·U_i, τ) = Budget; bisect on τ.
 	hi := 0.0
@@ -293,29 +157,34 @@ func initialPoint(p *Problem, opt Options) ([]float64, error) {
 		}
 	}
 	lo := 0.0
-	total := func(tau float64) float64 {
-		s := 0.0
-		for i := range p.Loads {
-			s += math.Min(p.alpha(i)*p.Loads[i], tau)
-		}
-		return s
-	}
 	for iter := 0; iter < 200; iter++ {
 		mid := (lo + hi) / 2
-		if total(mid) < p.Budget {
+		total := 0.0
+		for i := range p.Loads {
+			total += math.Min(p.alpha(i)*p.Loads[i], mid)
+		}
+		if total < p.Budget {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
 	tau := (lo + hi) / 2
-	rates := make([]float64, n)
 	for i := range rates {
 		rates[i] = math.Min(p.alpha(i), tau/p.Loads[i])
 	}
 	// Exact equality: rescale the interior coordinates to absorb the
 	// bisection residual.
 	fixBudget(p, rates, nil, nil)
+	return nil
+}
+
+// initialPoint is initialPointInto with a freshly allocated buffer.
+func initialPoint(p *Problem, opt Options) ([]float64, error) {
+	rates := make([]float64, p.NumLinks())
+	if err := initialPointInto(p, opt, rates); err != nil {
+		return nil, err
+	}
 	return rates, nil
 }
 
@@ -526,97 +395,6 @@ func maxStep(p *Problem, rates, s []float64, lower, upper []bool) (float64, int)
 		return 0, -1
 	}
 	return tMax, blocking
-}
-
-// lineSearch maximizes φ(t) = Objective(rates + t·s) over [0, tMax]. φ
-// is concave along s (strictly, under the linear rate model), so φ' is
-// decreasing: if φ'(tMax) ≥ 0 the maximum is at tMax (hit the blocking
-// constraint); otherwise the unique interior root of φ' is found by
-// safeguarded Newton (bisection fallback keeps the bracket valid even
-// under the exact rate model, where φ can be mildly non-concave).
-func lineSearch(p *Problem, rates, s []float64, tMax float64, opt Options) (t float64, hitMax bool) {
-	d1End, _ := p.lineDerivs(rates, s, tMax)
-	if d1End >= 0 {
-		return tMax, true
-	}
-	lo, hi := 0.0, tMax
-	t = tMax / 2
-	for iter := 0; iter < 100; iter++ {
-		d1, d2 := p.lineDerivs(rates, s, t)
-		if d1 > 0 {
-			lo = t
-		} else {
-			hi = t
-		}
-		if hi-lo <= 1e-14*tMax {
-			break
-		}
-		var next float64
-		if !opt.DisableNewton && d2 < 0 {
-			next = t - d1/d2
-		} else {
-			next = math.NaN()
-		}
-		if !(next > lo && next < hi) {
-			next = (lo + hi) / 2
-		}
-		if math.Abs(next-t) <= 1e-15*tMax {
-			t = next
-			break
-		}
-		t = next
-	}
-	return t, false
-}
-
-// finish assembles the Solution at the terminal point.
-func finish(p *Problem, rates, g []float64, lower, upper []bool, stats Stats, converged bool) *Solution {
-	stats.Converged = converged
-	lambda := projectionLambda(p, g, lower, upper)
-	if countFree(lower, upper) == 0 {
-		// λ is only interval-constrained at a vertex; report the midpoint
-		// of the feasible interval (clamped to finite values).
-		loLam, hiLam := math.Inf(-1), math.Inf(1)
-		for i := range g {
-			r := g[i] / p.Loads[i]
-			if upper[i] {
-				loLam = math.Max(loLam, r)
-			}
-			if lower[i] {
-				hiLam = math.Min(hiLam, r)
-			}
-		}
-		switch {
-		case !math.IsInf(loLam, 0) && !math.IsInf(hiLam, 0):
-			lambda = (loLam + hiLam) / 2
-		case !math.IsInf(loLam, 0):
-			lambda = loLam
-		case !math.IsInf(hiLam, 0):
-			lambda = hiLam
-		}
-	}
-	sol := &Solution{
-		Rates:     append([]float64(nil), rates...),
-		Objective: p.Objective(rates),
-		Rho:       p.EffectiveRates(rates),
-		Lambda:    lambda,
-		LowerMult: make([]float64, len(rates)),
-		UpperMult: make([]float64, len(rates)),
-		Stats:     stats,
-	}
-	sol.Utilities = make([]float64, len(p.Pairs))
-	for k, pr := range p.Pairs {
-		sol.Utilities[k] = pr.Utility.Value(sol.Rho[k])
-	}
-	for i := range rates {
-		if lower[i] {
-			sol.LowerMult[i] = lambda*p.Loads[i] - g[i]
-		}
-		if upper[i] {
-			sol.UpperMult[i] = g[i] - lambda*p.Loads[i]
-		}
-	}
-	return sol
 }
 
 func normInf(v []float64) float64 {

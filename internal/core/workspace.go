@@ -1,0 +1,490 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver is a reusable workspace for solving one Problem shape many
+// times. Construction validates the problem once and compiles the pair
+// rows into a flat CSR-style incidence (pair → links, with optional
+// ECMP fractions), replacing the per-solve slice walks and the per-pair
+// bookkeeping Validate used to rebuild on every call. All float buffers
+// are owned by the Solver, so repeated SolveInto calls are allocation-
+// free in steady state.
+//
+// A Solver is not safe for concurrent use; run one Solver per worker
+// (internal/engine gives each job its own). The Problem's structure
+// (pair count, link rows, fractions, Exact flag) must not change after
+// NewSolver; numeric re-tuning between solves is supported through
+// SetWeights. The one-shot core.Solve remains as a thin wrapper for
+// callers that solve a shape only once.
+type Solver struct {
+	p      *Problem
+	n      int // candidate links
+	nPairs int
+
+	// CSR incidence: pair k's links are links[start[k]:start[k+1]], and
+	// fracs (nil when no pair has ECMP fractions) is indexed in parallel.
+	start []int32
+	links []int32
+	fracs []float64
+	utils []Utility
+	wts   []float64
+
+	// Scratch buffers of the gradient-projection iteration.
+	rates, g, d, sdir, prevD []float64
+	lower, upper             []bool
+}
+
+// NewSolver validates p and compiles it into a reusable workspace.
+func NewSolver(p *Problem) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumLinks()
+	s := &Solver{
+		p:      p,
+		n:      n,
+		nPairs: len(p.Pairs),
+		start:  make([]int32, len(p.Pairs)+1),
+		utils:  make([]Utility, len(p.Pairs)),
+		wts:    make([]float64, len(p.Pairs)),
+		rates:  make([]float64, n),
+		g:      make([]float64, n),
+		d:      make([]float64, n),
+		sdir:   make([]float64, n),
+		prevD:  make([]float64, n),
+		lower:  make([]bool, n),
+		upper:  make([]bool, n),
+	}
+	nnz := 0
+	hasFracs := false
+	for k := range p.Pairs {
+		nnz += len(p.Pairs[k].Links)
+		if p.Pairs[k].Fracs != nil {
+			hasFracs = true
+		}
+	}
+	s.links = make([]int32, 0, nnz)
+	if hasFracs {
+		s.fracs = make([]float64, 0, nnz)
+	}
+	for k := range p.Pairs {
+		pr := &p.Pairs[k]
+		for j, l := range pr.Links {
+			s.links = append(s.links, int32(l))
+			if hasFracs {
+				f := 1.0
+				if pr.Fracs != nil {
+					f = pr.Fracs[j]
+				}
+				s.fracs = append(s.fracs, f)
+			}
+		}
+		s.start[k+1] = int32(len(s.links))
+		s.utils[k] = pr.Utility
+		s.wts[k] = pr.weight()
+	}
+	return s, nil
+}
+
+// Problem returns the compiled problem.
+func (s *Solver) Problem() *Problem { return s.p }
+
+// SetWeights replaces the per-pair objective weights without recompiling
+// (the max-min solver re-tunes weights every round). Entries <= 0 mean
+// weight 1, mirroring Pair.Weight; nil restores the Problem's weights.
+// The underlying Problem is not modified.
+func (s *Solver) SetWeights(w []float64) error {
+	if w == nil {
+		for k := range s.wts {
+			s.wts[k] = s.p.Pairs[k].weight()
+		}
+		return nil
+	}
+	if len(w) != s.nPairs {
+		return fmt.Errorf("core: %d weights for %d pairs", len(w), s.nPairs)
+	}
+	for k, v := range w {
+		if v <= 0 {
+			v = 1
+		}
+		s.wts[k] = v
+	}
+	return nil
+}
+
+// Solve runs the gradient projection method and returns a freshly
+// allocated Solution (safe to retain across further solves). For the
+// allocation-free path reuse a Solution via SolveInto.
+func (s *Solver) Solve(opt Options) (*Solution, error) {
+	sol := &Solution{}
+	if err := s.SolveInto(sol, opt); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// SolveInto runs the solver, writing the result into sol. The Solution's
+// slices are reused when their capacity suffices, so a Solution recycled
+// across same-shaped solves makes the whole call allocation-free in
+// steady state. The problem is NOT re-validated: validation happened
+// once in NewSolver.
+func (s *Solver) SolveInto(sol *Solution, opt Options) error {
+	p := s.p
+	n := s.n
+	tol := opt.tol()
+
+	rates := s.rates
+	if err := initialPointInto(p, opt, rates); err != nil {
+		return err
+	}
+
+	lower, upper := s.lower, s.upper
+	syncActive(p, rates, lower, upper)
+
+	g, d, sdir, prevD := s.g, s.d, s.sdir, s.prevD
+	havePrev := false
+
+	var stats Stats
+	for stats.Iterations = 0; stats.Iterations < opt.maxIter(); stats.Iterations++ {
+		reproject(p, rates, lower, upper)
+		s.gradient(rates, g)
+
+		free := countFree(lower, upper)
+		if free == 0 {
+			// Fully constrained vertex: optimal iff some λ satisfies all
+			// bound multipliers; otherwise free the violators.
+			if ok := vertexKKT(p, g, lower, upper, tol); ok {
+				s.finishInto(sol, rates, g, stats, true)
+				return nil
+			}
+			deactivateVertex(p, g, lower, upper)
+			stats.Removals++
+			havePrev = false
+			continue
+		}
+
+		lambda := projectionLambda(p, g, lower, upper)
+		for i := 0; i < n; i++ {
+			if lower[i] || upper[i] {
+				d[i] = 0
+			} else {
+				d[i] = g[i] - lambda*p.Loads[i]
+			}
+		}
+
+		if normInf(d) <= tol*(1+normInf(g)) {
+			// (convergence test is on the unpreconditioned residual)
+			// Projected gradient vanished: verify KKT at this point.
+			if multipliersOK(p, g, lambda, lower, upper, tol) {
+				s.finishInto(sol, rates, g, stats, true)
+				return nil
+			}
+			// Paper's strategy: de-activate every active constraint whose
+			// multiplier is negative and resume the search.
+			removed := deactivateNegative(p, g, lambda, lower, upper, tol)
+			if removed == 0 {
+				// Numerical corner: multipliers marginally negative but
+				// below deactivation threshold. Treat as converged.
+				s.finishInto(sol, rates, g, stats, true)
+				return nil
+			}
+			stats.Removals++
+			havePrev = false
+			continue
+		}
+
+		// Precondition with the diagonal metric 1/U_i²: equivalent to
+		// taking the steepest-ascent direction in sampled-rate space
+		// q_i = p_i·U_i, where the budget hyperplane Σq = θ is isotropic.
+		// Without it the projected gradient zig-zags badly when loads
+		// span orders of magnitude. The preconditioned direction must be
+		// re-projected onto the hyperplane (in the scaled metric the
+		// multiplier is the mean of g_i/U_i over free coordinates).
+		if !opt.DisablePreconditioner {
+			nFree, lamW := 0, 0.0
+			for i := 0; i < n; i++ {
+				if !lower[i] && !upper[i] {
+					lamW += g[i] / p.Loads[i]
+					nFree++
+				}
+			}
+			lamW /= float64(nFree)
+			for i := 0; i < n; i++ {
+				if lower[i] || upper[i] {
+					d[i] = 0
+				} else {
+					d[i] = (g[i] - lamW*p.Loads[i]) / (p.Loads[i] * p.Loads[i])
+				}
+			}
+		}
+
+		// Polak-Ribière blend of the previous direction (Section IV-D).
+		copy(sdir, d)
+		if !opt.DisablePolakRibiere && havePrev {
+			num, den := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				num += d[i] * (d[i] - prevD[i])
+				den += prevD[i] * prevD[i]
+			}
+			if den > 0 {
+				beta := num / den
+				if beta > 0 {
+					for i := 0; i < n; i++ {
+						sdir[i] = d[i] + beta*prevD[i]
+					}
+					// The blended direction must remain an ascent
+					// direction; otherwise restart from the projection.
+					if dot(sdir, g) <= 0 {
+						copy(sdir, d)
+					}
+				}
+			}
+		}
+		copy(prevD, d)
+		havePrev = true
+
+		tMax, blocking := maxStep(p, rates, sdir, lower, upper)
+		if tMax <= 0 {
+			// A constraint is binding in the search direction at step
+			// zero: activate it and recompute the projection.
+			if blocking >= 0 {
+				activate(p, rates, blocking, lower, upper)
+				havePrev = false
+				continue
+			}
+			// Direction is zero on free coordinates; should have been
+			// caught by the norm test above.
+			s.finishInto(sol, rates, g, stats, false)
+			return nil
+		}
+
+		t, hitMax := s.lineSearch(rates, sdir, tMax, opt)
+		for i := 0; i < n; i++ {
+			if !lower[i] && !upper[i] {
+				rates[i] += t * sdir[i]
+			}
+		}
+		if hitMax && blocking >= 0 {
+			activate(p, rates, blocking, lower, upper)
+			havePrev = false
+		}
+		syncActive(p, rates, lower, upper)
+	}
+
+	reproject(p, rates, lower, upper)
+	s.gradient(rates, g)
+	s.finishInto(sol, rates, g, stats, false)
+	return nil
+}
+
+// rho returns the effective sampling rate of pair k at rates, from the
+// compiled incidence.
+func (s *Solver) rho(k int, rates []float64) float64 {
+	lo, hi := s.start[k], s.start[k+1]
+	if s.p.Exact {
+		q := 1.0
+		for j := lo; j < hi; j++ {
+			q *= 1 - rates[s.links[j]]
+		}
+		return 1 - q
+	}
+	sum := 0.0
+	if s.fracs != nil {
+		for j := lo; j < hi; j++ {
+			sum += s.fracs[j] * rates[s.links[j]]
+		}
+	} else {
+		for j := lo; j < hi; j++ {
+			sum += rates[s.links[j]]
+		}
+	}
+	return sum
+}
+
+// gradient writes ∂/∂p_i Σ_k w_k·M_k(ρ_k) into out.
+func (s *Solver) gradient(rates, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	exact := s.p.Exact
+	for k := 0; k < s.nPairs; k++ {
+		lo, hi := s.start[k], s.start[k+1]
+		rho := s.rho(k, rates)
+		d := s.wts[k] * s.utils[k].Deriv(rho)
+		if exact {
+			// ∂ρ_k/∂p_i = Π_{j≠i}(1−p_j) = (1−ρ_k)/(1−p_i).
+			for j := lo; j < hi; j++ {
+				i := s.links[j]
+				den := 1 - rates[i]
+				if den < 1e-12 {
+					den = 1e-12
+				}
+				out[i] += d * (1 - rho) / den
+			}
+		} else if s.fracs != nil {
+			for j := lo; j < hi; j++ {
+				out[s.links[j]] += d * s.fracs[j]
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				out[s.links[j]] += d
+			}
+		}
+	}
+}
+
+// lineDerivs returns φ'(t) and φ”(t) for φ(t) = Objective(rates + t·dir)
+// over the compiled incidence (see Problem.lineDerivs for the math).
+func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
+	exact := s.p.Exact
+	for k := 0; k < s.nPairs; k++ {
+		lo, hi := s.start[k], s.start[k+1]
+		w := s.wts[k]
+		if exact {
+			g := 1.0
+			h := 0.0  // Σ s_i/(1−x_i)
+			h2 := 0.0 // Σ s_i²/(1−x_i)²
+			for j := lo; j < hi; j++ {
+				i := s.links[j]
+				x := 1 - rates[i] - t*dir[i]
+				if x < 1e-12 {
+					x = 1e-12
+				}
+				g *= x
+				term := dir[i] / x
+				h += term
+				h2 += term * term
+			}
+			rho := 1 - g
+			rp := g * h         // ρ'(t)
+			rpp := g*h2 - g*h*h // ρ''(t)
+			du := w * s.utils[k].Deriv(rho)
+			cu := w * s.utils[k].Curv(rho)
+			d1 += du * rp
+			d2 += cu*rp*rp + du*rpp
+		} else {
+			rho, q := 0.0, 0.0
+			for j := lo; j < hi; j++ {
+				i := s.links[j]
+				f := 1.0
+				if s.fracs != nil {
+					f = s.fracs[j]
+				}
+				rho += f * (rates[i] + t*dir[i])
+				q += f * dir[i]
+			}
+			d1 += w * s.utils[k].Deriv(rho) * q
+			d2 += w * s.utils[k].Curv(rho) * q * q
+		}
+	}
+	return d1, d2
+}
+
+// lineSearch maximizes φ(t) = Objective(rates + t·dir) over [0, tMax].
+// See the package solver notes: φ is concave along dir under the linear
+// rate model, so φ' is decreasing; safeguarded Newton with a bisection
+// fallback keeps the bracket valid even under the exact rate model.
+func (s *Solver) lineSearch(rates, dir []float64, tMax float64, opt Options) (t float64, hitMax bool) {
+	d1End, _ := s.lineDerivs(rates, dir, tMax)
+	if d1End >= 0 {
+		return tMax, true
+	}
+	lo, hi := 0.0, tMax
+	t = tMax / 2
+	for iter := 0; iter < 100; iter++ {
+		d1, d2 := s.lineDerivs(rates, dir, t)
+		if d1 > 0 {
+			lo = t
+		} else {
+			hi = t
+		}
+		if hi-lo <= 1e-14*tMax {
+			break
+		}
+		var next float64
+		if !opt.DisableNewton && d2 < 0 {
+			next = t - d1/d2
+		} else {
+			next = math.NaN()
+		}
+		if !(next > lo && next < hi) {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-t) <= 1e-15*tMax {
+			t = next
+			break
+		}
+		t = next
+	}
+	return t, false
+}
+
+// finishInto assembles the Solution at the terminal point, reusing sol's
+// slices when they are large enough.
+func (s *Solver) finishInto(sol *Solution, rates, g []float64, stats Stats, converged bool) {
+	p := s.p
+	lower, upper := s.lower, s.upper
+	stats.Converged = converged
+	lambda := projectionLambda(p, g, lower, upper)
+	if countFree(lower, upper) == 0 {
+		// λ is only interval-constrained at a vertex; report the midpoint
+		// of the feasible interval (clamped to finite values).
+		loLam, hiLam := math.Inf(-1), math.Inf(1)
+		for i := range g {
+			r := g[i] / p.Loads[i]
+			if upper[i] {
+				loLam = math.Max(loLam, r)
+			}
+			if lower[i] {
+				hiLam = math.Min(hiLam, r)
+			}
+		}
+		switch {
+		case !math.IsInf(loLam, 0) && !math.IsInf(hiLam, 0):
+			lambda = (loLam + hiLam) / 2
+		case !math.IsInf(loLam, 0):
+			lambda = loLam
+		case !math.IsInf(hiLam, 0):
+			lambda = hiLam
+		}
+	}
+	n := len(rates)
+	sol.Rates = resizeFloats(sol.Rates, n)
+	copy(sol.Rates, rates)
+	sol.Rho = resizeFloats(sol.Rho, s.nPairs)
+	sol.Utilities = resizeFloats(sol.Utilities, s.nPairs)
+	obj := 0.0
+	for k := 0; k < s.nPairs; k++ {
+		rho := s.rho(k, rates)
+		u := s.utils[k].Value(rho)
+		sol.Rho[k] = rho
+		sol.Utilities[k] = u
+		obj += s.wts[k] * u
+	}
+	sol.Objective = obj
+	sol.Lambda = lambda
+	sol.LowerMult = resizeFloats(sol.LowerMult, n)
+	sol.UpperMult = resizeFloats(sol.UpperMult, n)
+	for i := range rates {
+		sol.LowerMult[i], sol.UpperMult[i] = 0, 0
+		if lower[i] {
+			sol.LowerMult[i] = lambda*p.Loads[i] - g[i]
+		}
+		if upper[i] {
+			sol.UpperMult[i] = g[i] - lambda*p.Loads[i]
+		}
+	}
+	sol.Stats = stats
+}
+
+// resizeFloats returns a slice of length n, reusing buf's storage when
+// its capacity suffices.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netsamp/internal/rng"
+)
+
+// wsRandomProblem builds a randomized feasible instance for the
+// workspace tests (same regime as the stress tests).
+func wsRandomProblem(seed uint64, nLinks, nPairs int, exact bool) *Problem {
+	r := rng.New(seed)
+	p := &Problem{Loads: make([]float64, nLinks), Exact: exact}
+	total := 0.0
+	for i := range p.Loads {
+		p.Loads[i] = math.Pow(10, 2+3*r.Float64())
+		total += p.Loads[i]
+	}
+	p.Budget = total * 0.001
+	for k := 0; k < nPairs; k++ {
+		perm := r.Perm(nLinks)
+		nHops := 1 + r.Intn(4)
+		p.Pairs = append(p.Pairs, Pair{
+			Name:    "k",
+			Links:   append([]int(nil), perm[:nHops]...),
+			Utility: MustSRE(math.Pow(10, -6+3*r.Float64())),
+		})
+	}
+	return p
+}
+
+// TestSolverMatchesSolve: the compiled CSR path must reproduce the
+// one-shot Solve bit for bit — same iterates, same certificates.
+func TestSolverMatchesSolve(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		p := wsRandomProblem(99, 60, 40, exact)
+		want, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSolver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ { // reuse must not drift
+			got, err := s.Solve(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("exact=%v trial %d: Solver.Solve differs from Solve", exact, trial)
+			}
+		}
+	}
+}
+
+// TestSolverWithFracsMatchesSolve covers the ECMP fraction path of the
+// compiled incidence.
+func TestSolverWithFracsMatchesSolve(t *testing.T) {
+	p := &Problem{
+		Loads:  []float64{5000, 8000, 12000},
+		Budget: 20,
+		Pairs: []Pair{
+			{Name: "a", Links: []int{0, 1}, Fracs: []float64{0.5, 0.5}, Utility: MustSRE(0.002)},
+			{Name: "b", Links: []int{1, 2}, Fracs: []float64{0.25, 0.75}, Utility: MustSRE(0.001)},
+			{Name: "c", Links: []int{2}, Utility: MustSRE(0.0005)},
+		},
+	}
+	want, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fractional-path Solver.Solve differs from Solve")
+	}
+}
+
+// TestSolveIntoZeroAllocs is the steady-state allocation contract: a
+// Solver reusing one Solution must not allocate at all.
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	p := wsRandomProblem(7, 40, 30, false)
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sol Solution
+	if err := s.SolveInto(&sol, Options{}); err != nil { // warm the slices
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.SolveInto(&sol, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SolveInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestSolverSetWeights: weighted solves through SetWeights must match
+// one-shot solves of an equivalently weighted Problem, and must leave
+// the Solver's Problem untouched.
+func TestSolverSetWeights(t *testing.T) {
+	p := wsRandomProblem(13, 30, 20, false)
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	weights := make([]float64, len(p.Pairs))
+	for k := range weights {
+		weights[k] = 0.25 + 2*r.Float64()
+	}
+	if err := s.SetWeights(weights); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := *p
+	weighted.Pairs = append([]Pair(nil), p.Pairs...)
+	for k := range weighted.Pairs {
+		weighted.Pairs[k].Weight = weights[k]
+	}
+	want, err := Solve(&weighted, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rates, want.Rates) || got.Objective != want.Objective {
+		t.Fatal("SetWeights solve differs from weighted-Problem solve")
+	}
+	for k := range p.Pairs {
+		if p.Pairs[k].Weight != 0 {
+			t.Fatal("SetWeights mutated the caller's Problem")
+		}
+	}
+	// Resetting restores the unweighted optimum.
+	if err := s.SetWeights(nil); err != nil {
+		t.Fatal(err)
+	}
+	reset, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reset, plain) {
+		t.Fatal("SetWeights(nil) did not restore the problem weights")
+	}
+	if err := s.SetWeights(weights[:3]); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+}
+
+// TestSolverRejectsInvalid: validation happens once, at compile time.
+func TestSolverRejectsInvalid(t *testing.T) {
+	p := &Problem{
+		Loads:  []float64{1000},
+		Budget: 5,
+		Pairs:  []Pair{{Name: "k", Links: []int{0, 0}, Utility: MustSRE(0.002)}},
+	}
+	if _, err := NewSolver(p); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	p.Pairs[0].Links = []int{0}
+	if _, err := NewSolver(p); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+}
+
+// TestSolverSolutionIndependence: Solver.Solve results must stay valid
+// after further solves (fresh allocations, not views of the workspace).
+func TestSolverSolutionIndependence(t *testing.T) {
+	p := wsRandomProblem(21, 25, 15, false)
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), a.Rates...)
+	if err := s.SetWeights([]float64{}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := s.Solve(Options{MaxIter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rates, snapshot) {
+		t.Fatal("earlier Solution mutated by a later solve")
+	}
+}

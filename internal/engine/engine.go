@@ -1,0 +1,148 @@
+// Package engine runs batches of independent jobs on a bounded worker
+// pool. Every paper artifact is such a batch — the Figure 2 θ-sweep, the
+// §IV-D randomized convergence study, the dynamic study's per-interval
+// re-optimizations — and the related large-scale monitoring literature
+// treats the solve-many-instances loop as the scaling bottleneck.
+//
+// The engine makes three guarantees the ad-hoc sequential loops did not:
+//
+//   - Determinism: job i's random stream is derived as a pure function
+//     of (Options.Seed, i) via rng.SplitSeed, never from shared mutable
+//     state, so results are bit-identical regardless of worker count or
+//     scheduling order.
+//   - Cancellation: Run and Map honour context cancellation and
+//     deadlines. Undispatched jobs are skipped, workers drain, and the
+//     returned error wraps ctx.Err() (errors.Is-compatible). No
+//     goroutines outlive the call.
+//   - Isolation: a panicking job is converted into a *PanicError for
+//     that job only; the rest of the batch completes and all failures
+//     are aggregated with errors.Join in job order.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"netsamp/internal/rng"
+)
+
+// Options tunes a batch run. The zero value runs on GOMAXPROCS workers
+// with master seed 0 (still fully deterministic).
+type Options struct {
+	// Workers bounds the number of concurrently executing jobs. Values
+	// <= 0 select runtime.GOMAXPROCS(0). Workers never affects results,
+	// only wall-clock time.
+	Workers int
+	// Seed is the master seed; job i receives a Source seeded with
+	// rng.SplitSeed(Seed, i).
+	Seed uint64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError reports a job that panicked. The batch it belonged to
+// completed; only this job's result is missing.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Map runs fn for every index in [0, n) and returns the results in
+// index order. fn receives the job index and a private deterministic
+// rng.Source; it must not touch shared mutable state (each job writes
+// only its own result slot).
+//
+// The error aggregates ctx.Err() (if the batch was cut short) and every
+// per-job failure, joined in job order. Results of failed or skipped
+// jobs are the zero value of T; results of completed jobs are valid even
+// when an error is returned.
+func Map[T any](ctx context.Context, opt Options, n int, fn func(ctx context.Context, job int, r *rng.Source) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	errs := make([]error, n)
+	w := opt.workers()
+	if w > n {
+		w = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				if ctx.Err() != nil {
+					errs[job] = ctx.Err()
+					continue
+				}
+				runJob(ctx, opt.Seed, job, fn, results, errs)
+			}
+		}()
+	}
+	// Feed from this goroutine so Map owns every goroutine it starts:
+	// when ctx fires we stop feeding, close the channel, and the workers
+	// drain and exit before Map returns.
+feed:
+	for job := 0; job < n; job++ {
+		select {
+		case jobs <- job:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var agg []error
+	if err := ctx.Err(); err != nil {
+		agg = append(agg, err)
+	}
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ctx.Err()) {
+			agg = append(agg, e)
+		}
+	}
+	return results, errors.Join(agg...)
+}
+
+// runJob executes one job with panic isolation.
+func runJob[T any](ctx context.Context, seed uint64, job int, fn func(ctx context.Context, job int, r *rng.Source) (T, error), results []T, errs []error) {
+	defer func() {
+		if v := recover(); v != nil {
+			errs[job] = &PanicError{Job: job, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	r := rng.New(rng.SplitSeed(seed, uint64(job)))
+	results[job], errs[job] = fn(ctx, job, r)
+}
+
+// Job is one unit of work for Run. The Source is private to the job and
+// deterministically seeded from (Options.Seed, job index).
+type Job func(ctx context.Context, r *rng.Source) error
+
+// Run executes the jobs on the worker pool and returns their aggregated
+// error (see Map for the cancellation and isolation contract). Jobs
+// communicate results by writing variables they capture; each job must
+// write only its own.
+func Run(ctx context.Context, opt Options, jobs ...Job) error {
+	_, err := Map(ctx, opt, len(jobs), func(ctx context.Context, i int, r *rng.Source) (struct{}, error) {
+		return struct{}{}, jobs[i](ctx, r)
+	})
+	return err
+}

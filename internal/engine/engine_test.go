@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netsamp/internal/rng"
+)
+
+// TestMapOrderAndDeterminism verifies the engine's core contract:
+// results arrive in job order and are bit-identical for any worker
+// count, because job i's stream depends only on (Seed, i).
+func TestMapOrderAndDeterminism(t *testing.T) {
+	const n = 64
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), Options{Workers: workers, Seed: 42}, n,
+			func(_ context.Context, job int, r *rng.Source) (float64, error) {
+				// Consume a job-dependent number of variates to shake out
+				// any accidental stream sharing.
+				v := 0.0
+				for i := 0; i <= job%7; i++ {
+					v = r.Float64()
+				}
+				return float64(job) + v, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	seq := run(1)
+	for i, v := range seq {
+		if v < float64(i) || v >= float64(i)+1 {
+			t.Fatalf("result %d out of order: %v", i, v)
+		}
+	}
+	for _, w := range []int{2, 3, 8, 0} {
+		if got := run(w); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d differs from workers=1", w)
+		}
+	}
+}
+
+func TestMapErrorAggregation(t *testing.T) {
+	sentinel := errors.New("job failed")
+	out, err := Map(context.Background(), Options{Workers: 4}, 10,
+		func(_ context.Context, job int, _ *rng.Source) (int, error) {
+			if job%3 == 0 {
+				return 0, fmt.Errorf("job %d: %w", job, sentinel)
+			}
+			return job * job, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("aggregated error lost the cause: %v", err)
+	}
+	// Failures in jobs 0,3,6,9; the rest must still have completed.
+	for _, i := range []int{1, 2, 4, 5, 7, 8} {
+		if out[i] != i*i {
+			t.Fatalf("job %d result lost: %d", i, out[i])
+		}
+	}
+	// Errors are aggregated in job order.
+	msg := err.Error()
+	if strings.Index(msg, "job 0") > strings.Index(msg, "job 9") {
+		t.Fatalf("errors out of order: %v", msg)
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	var done atomic.Int32
+	err := Run(context.Background(), Options{Workers: 2},
+		func(_ context.Context, _ *rng.Source) error { done.Add(1); return nil },
+		func(_ context.Context, _ *rng.Source) error { panic("boom") },
+		func(_ context.Context, _ *rng.Source) error { done.Add(1); return nil },
+	)
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if pe.Job != 1 || pe.Value != "boom" {
+		t.Fatalf("wrong panic attribution: job %d value %v", pe.Job, pe.Value)
+	}
+	if done.Load() != 2 {
+		t.Fatalf("sibling jobs did not complete: %d", done.Load())
+	}
+}
+
+// TestRunCancellation covers the satellite requirement: Run returns
+// promptly with ctx.Err() when cancelled mid-batch, and no goroutines
+// leak (before/after runtime.NumGoroutine guard with a settle loop).
+func TestRunCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, 1)
+	var jobs []Job
+	for i := 0; i < 32; i++ {
+		jobs = append(jobs, func(ctx context.Context, _ *rng.Source) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done() // block until cancelled
+			return ctx.Err()
+		})
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- Run(ctx, Options{Workers: 4}, jobs...) }()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error does not wrap ctx.Err(): %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation")
+	}
+
+	// Goroutine leak guard: the pool and feeder must be gone. Allow the
+	// runtime a moment to reap exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMapDeadline verifies deadline contexts behave like cancellation.
+func TestMapDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := Map(ctx, Options{Workers: 2}, 100,
+		func(ctx context.Context, _ int, _ *rng.Source) (int, error) {
+			<-ctx.Done()
+			return 0, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline not surfaced: %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), Options{}, 0,
+		func(_ context.Context, _ int, _ *rng.Source) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
+func TestSplitSeedIsPure(t *testing.T) {
+	a := rng.SplitSeed(7, 3)
+	b := rng.SplitSeed(7, 3)
+	if a != b {
+		t.Fatal("SplitSeed not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		s := rng.SplitSeed(7, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+}

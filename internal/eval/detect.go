@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,8 +9,10 @@ import (
 
 	"netsamp/internal/baseline"
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/geant"
 	"netsamp/internal/plan"
+	"netsamp/internal/rng"
 )
 
 // DetectionStudy instantiates the framework for the measurement task the
@@ -38,6 +41,13 @@ type DetectionResult struct {
 // DetectionStudy solves the detection-utility placement at θ packets per
 // interval for anomalies of the given footprint.
 func DetectionStudy(s *geant.Scenario, theta float64, eventSize int) (*DetectionResult, error) {
+	return DetectionStudyCtx(context.Background(), s, theta, eventSize, 0)
+}
+
+// DetectionStudyCtx is DetectionStudy with cancellation; the three
+// competing placements (sum-objective optimum, exact max-min, uniform)
+// are independent, so they run as concurrent engine jobs.
+func DetectionStudyCtx(ctx context.Context, s *geant.Scenario, theta float64, eventSize int, workers int) (*DetectionResult, error) {
 	budget := core.BudgetPerInterval(theta, Interval)
 	util, err := core.NewDetection(eventSize)
 	if err != nil {
@@ -62,15 +72,27 @@ func DetectionStudy(s *geant.Scenario, theta float64, eventSize int) (*Detection
 	for k := range prob.Pairs {
 		prob.Pairs[k].Utility = util
 	}
-	sol, err := core.Solve(prob, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	mm, err := core.SolveMaxMinExact(prob, 0)
-	if err != nil {
-		return nil, err
-	}
-	uni, err := baseline.Uniform(s.Matrix, s.Loads, s.MonitorLinks, budget)
+	var (
+		sol, mm *core.Solution
+		uni     *baseline.Assignment
+	)
+	err = engine.Run(ctx, engine.Options{Workers: workers},
+		func(_ context.Context, _ *rng.Source) error {
+			var err error
+			sol, err = core.Solve(prob, core.Options{})
+			return err
+		},
+		func(_ context.Context, _ *rng.Source) error {
+			var err error
+			mm, err = core.SolveMaxMinExact(prob, 0)
+			return err
+		},
+		func(_ context.Context, _ *rng.Source) error {
+			var err error
+			uni, err = baseline.Uniform(s.Matrix, s.Loads, s.MonitorLinks, budget)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/geant"
 	"netsamp/internal/plan"
 	"netsamp/internal/rng"
@@ -77,6 +79,30 @@ type DynamicResult struct {
 // DynamicStudy runs the study for the given number of intervals at
 // θ packets per interval.
 func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) (*DynamicResult, error) {
+	return DynamicStudyCtx(context.Background(), s, intervals, theta, seed, 0)
+}
+
+// dynamicInterval is one interval's world state, assembled sequentially
+// (graph mutation and the shared jitter stream force ordering), then
+// re-optimized in parallel.
+type dynamicInterval struct {
+	matrix     *routing.Matrix
+	candidates []topology.LinkID
+	loads      []float64
+	inv        []float64
+	failed     bool
+	anomaly    bool
+}
+
+// DynamicStudyCtx runs the study in three phases: a sequential input
+// phase that plays out the traffic/routing dynamics (it mutates the
+// scenario graph and consumes one jitter stream, so order matters), a
+// parallel phase that re-optimizes every interval on the engine's worker
+// pool, and a sequential aggregation phase (the static-vs-dynamic
+// comparison and churn depend on interval order). The per-interval
+// optimizations dominate the cost and are order-independent, so the
+// result is identical for every worker count.
+func DynamicStudyCtx(ctx context.Context, s *geant.Scenario, intervals int, theta float64, seed uint64, workers int) (*DynamicResult, error) {
 	if intervals <= 0 {
 		intervals = 24
 	}
@@ -97,10 +123,8 @@ func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) 
 		s.Graph.SetDown(chfr, false)
 	}()
 
-	res := &DynamicResult{MinStaticWorst: math.Inf(1), MinDynamicWorst: math.Inf(1)}
-	var staticPlan map[topology.LinkID]float64
-	var prevDynamic map[topology.LinkID]float64
-
+	// Phase 1 (sequential): play out the dynamics.
+	worlds := make([]dynamicInterval, intervals)
 	for t := 0; t < intervals; t++ {
 		failed := t >= failAt
 		anomaly := t == anomalyAt
@@ -153,31 +177,47 @@ func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) 
 		for k := range rates {
 			inv[k] = math.Min(1, 1/(rates[k]*Interval))
 		}
+		worlds[t] = dynamicInterval{
+			matrix: matrix, candidates: candidates, loads: loads, inv: inv,
+			failed: failed, anomaly: anomaly,
+		}
+	}
 
-		// Dynamic operator: re-optimize now.
-		prob, _, err := plan.Build(plan.Input{
-			Matrix: matrix, Loads: loads, Candidates: candidates,
-			InvMeanSizes: inv, Budget: budget,
+	// Phase 2 (parallel): the dynamic operator re-optimizes every
+	// interval. Each interval is an independent engine job.
+	plans, err := engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, intervals,
+		func(_ context.Context, t int, _ *rng.Source) (map[topology.LinkID]float64, error) {
+			w := &worlds[t]
+			prob, _, err := plan.Build(plan.Input{
+				Matrix: w.matrix, Loads: w.loads, Candidates: w.candidates,
+				InvMeanSizes: w.inv, Budget: budget,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+			}
+			sol, err := core.Solve(prob, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+			}
+			return plan.RatesByLink(sol, w.candidates), nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
-		}
-		sol, err := core.Solve(prob, core.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
-		}
-		dynamicPlan := plan.RatesByLink(sol, candidates)
+	if err != nil {
+		return nil, err
+	}
 
-		// Static operator: the interval-0 plan, evaluated under today's
-		// routing, traffic and utilities.
-		if t == 0 {
-			staticPlan = dynamicPlan
-		}
+	// Phase 3 (sequential): compare the stale interval-0 plan against
+	// the re-optimized plans and account churn.
+	res := &DynamicResult{MinStaticWorst: math.Inf(1), MinDynamicWorst: math.Inf(1)}
+	staticPlan := plans[0]
+	var prevDynamic map[topology.LinkID]float64
+	for t := 0; t < intervals; t++ {
+		w := &worlds[t]
+		dynamicPlan := plans[t]
 		evaluate := func(assign map[topology.LinkID]float64) (obj, worst float64) {
-			rho := plan.EffectiveRates(matrix, assign, false)
+			rho := plan.EffectiveRates(w.matrix, assign, false)
 			worst = math.Inf(1)
 			for k := range rho {
-				u := core.MustSRE(inv[k]).Value(rho[k])
+				u := core.MustSRE(w.inv[k]).Value(rho[k])
 				obj += u
 				if u < worst {
 					worst = u
@@ -187,9 +227,9 @@ func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) 
 		}
 		point := DynamicPoint{
 			Interval:    t,
-			Failed:      failed,
-			Anomaly:     anomaly,
-			StaticSpend: plan.SampledRate(staticPlan, loads) / budget,
+			Failed:      w.failed,
+			Anomaly:     w.anomaly,
+			StaticSpend: plan.SampledRate(staticPlan, w.loads) / budget,
 		}
 		point.StaticObj, point.StaticWorst = evaluate(staticPlan)
 		point.DynamicObj, point.DynamicWorst = evaluate(dynamicPlan)

@@ -13,6 +13,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 
 	"netsamp/internal/baseline"
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/geant"
 	"netsamp/internal/plan"
 	"netsamp/internal/rng"
@@ -175,47 +177,56 @@ type Figure2Point struct {
 
 // Figure2 sweeps θ and, for each value, simulates the accuracy of the
 // full optimal solution and of the optimizer restricted to the six UK
-// links (the paper's comparison).
+// links (the paper's comparison). The sweep runs on the engine's worker
+// pool (one job per θ); see Figure2Ctx for cancellation and an explicit
+// worker count.
 func Figure2(s *geant.Scenario, thetas []float64, trials int, seed uint64) ([]Figure2Point, error) {
+	return Figure2Ctx(context.Background(), s, thetas, trials, seed, 0)
+}
+
+// Figure2Ctx is Figure2 with cancellation and an explicit worker count
+// (0 selects GOMAXPROCS). Each θ is one engine job with its own
+// split-seeded random stream, so the result is bit-identical for every
+// worker count.
+func Figure2Ctx(ctx context.Context, s *geant.Scenario, thetas []float64, trials int, seed uint64, workers int) ([]Figure2Point, error) {
 	inv := s.UtilityParams(Interval)
 	sizes := s.PairSizes(Interval)
-	r := rng.New(seed)
-	var out []Figure2Point
-	for _, theta := range thetas {
-		budget := core.BudgetPerInterval(theta, Interval)
-		point := Figure2Point{Theta: theta}
-		for variant, candidates := range [][]topology.LinkID{s.MonitorLinks, s.UKLinks} {
-			prob, _, err := plan.Build(plan.Input{
-				Matrix:       s.Matrix,
-				Loads:        s.Loads,
-				Candidates:   candidates,
-				InvMeanSizes: inv,
-				Budget:       budget,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("eval: θ=%v: %w", theta, err)
-			}
-			sol, err := core.Solve(prob, core.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("eval: θ=%v: %w", theta, err)
-			}
-			var results []sampling.Result
-			for k := range s.Pairs {
-				exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], sol.Rho[k], trials, r.Split())
+	return engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, len(thetas),
+		func(_ context.Context, i int, r *rng.Source) (Figure2Point, error) {
+			theta := thetas[i]
+			budget := core.BudgetPerInterval(theta, Interval)
+			point := Figure2Point{Theta: theta}
+			for variant, candidates := range [][]topology.LinkID{s.MonitorLinks, s.UKLinks} {
+				prob, _, err := plan.Build(plan.Input{
+					Matrix:       s.Matrix,
+					Loads:        s.Loads,
+					Candidates:   candidates,
+					InvMeanSizes: inv,
+					Budget:       budget,
+				})
 				if err != nil {
-					return nil, err
+					return point, fmt.Errorf("eval: θ=%v: %w", theta, err)
 				}
-				results = append(results, exp)
+				sol, err := core.Solve(prob, core.Options{})
+				if err != nil {
+					return point, fmt.Errorf("eval: θ=%v: %w", theta, err)
+				}
+				var results []sampling.Result
+				for k := range s.Pairs {
+					exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], sol.Rho[k], trials, r.Split())
+					if err != nil {
+						return point, err
+					}
+					results = append(results, exp)
+				}
+				if variant == 0 {
+					point.Optimal = sampling.Summarize(results)
+				} else {
+					point.UKOnly = sampling.Summarize(results)
+				}
 			}
-			if variant == 0 {
-				point.Optimal = sampling.Summarize(results)
-			} else {
-				point.UKOnly = sampling.Summarize(results)
-			}
-		}
-		out = append(out, point)
-	}
-	return out, nil
+			return point, nil
+		})
 }
 
 // DefaultThetas is the Figure 2 sweep: log-spaced budgets from 10k to
@@ -241,7 +252,7 @@ type ConvergenceResult struct {
 // per-run jitter on OD sizes, link loads and θ, as in the paper ("each
 // time with a different set of input parameters").
 func ConvergenceStudy(s *geant.Scenario, runs int, seed uint64) (*ConvergenceResult, error) {
-	return ConvergenceStudyWithOptions(s, runs, seed, core.Options{})
+	return ConvergenceStudyCtx(context.Background(), s, runs, seed, core.Options{}, 0)
 }
 
 // ConvergenceStudyWithOptions is ConvergenceStudy under explicit solver
@@ -249,45 +260,60 @@ func ConvergenceStudy(s *geant.Scenario, runs int, seed uint64) (*ConvergenceRes
 // paper's plain gradient-projection method (slower convergence, more
 // constraint-removal events).
 func ConvergenceStudyWithOptions(s *geant.Scenario, runs int, seed uint64, opt core.Options) (*ConvergenceResult, error) {
+	return ConvergenceStudyCtx(context.Background(), s, runs, seed, opt, 0)
+}
+
+// ConvergenceStudyCtx runs the randomized instances on the engine's
+// worker pool (one job per instance, each with its own split-seeded
+// jitter stream) and aggregates the per-run statistics in run order, so
+// the result is bit-identical for every worker count. workers = 0
+// selects GOMAXPROCS.
+func ConvergenceStudyCtx(ctx context.Context, s *geant.Scenario, runs int, seed uint64, opt core.Options, workers int) (*ConvergenceResult, error) {
 	if runs <= 0 {
 		runs = 200
 	}
-	r := rng.New(seed)
 	inv := s.UtilityParams(Interval)
+	stats, err := engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, runs,
+		func(_ context.Context, _ int, r *rng.Source) (core.Stats, error) {
+			loads := make([]float64, len(s.Loads))
+			for i, u := range s.Loads {
+				loads[i] = u * r.LogNormal(0, 0.4)
+			}
+			invRun := make([]float64, len(inv))
+			for k, c := range inv {
+				invRun[k] = math.Min(1, c*r.LogNormal(0, 0.3))
+			}
+			theta := 20000 + r.Float64()*480000 // packets per interval
+			prob, _, err := plan.Build(plan.Input{
+				Matrix:       s.Matrix,
+				Loads:        loads,
+				Candidates:   s.MonitorLinks,
+				InvMeanSizes: invRun,
+				Budget:       core.BudgetPerInterval(theta, Interval),
+			})
+			if err != nil {
+				return core.Stats{}, err
+			}
+			sol, err := core.Solve(prob, opt)
+			if err != nil {
+				return core.Stats{}, err
+			}
+			return sol.Stats, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &ConvergenceResult{Runs: runs}
 	var sumRem, sumRem2, sumIter float64
-	for run := 0; run < runs; run++ {
-		loads := make([]float64, len(s.Loads))
-		for i, u := range s.Loads {
-			loads[i] = u * r.LogNormal(0, 0.4)
-		}
-		invRun := make([]float64, len(inv))
-		for k, c := range inv {
-			invRun[k] = math.Min(1, c*r.LogNormal(0, 0.3))
-		}
-		theta := 20000 + r.Float64()*480000 // packets per interval
-		prob, _, err := plan.Build(plan.Input{
-			Matrix:       s.Matrix,
-			Loads:        loads,
-			Candidates:   s.MonitorLinks,
-			InvMeanSizes: invRun,
-			Budget:       core.BudgetPerInterval(theta, Interval),
-		})
-		if err != nil {
-			return nil, err
-		}
-		sol, err := core.Solve(prob, opt)
-		if err != nil {
-			return nil, err
-		}
-		if sol.Stats.Converged {
+	for _, st := range stats {
+		if st.Converged {
 			res.Converged++
 		}
-		sumRem += float64(sol.Stats.Removals)
-		sumRem2 += float64(sol.Stats.Removals) * float64(sol.Stats.Removals)
-		sumIter += float64(sol.Stats.Iterations)
-		if sol.Stats.Iterations > res.MaxIterations {
-			res.MaxIterations = sol.Stats.Iterations
+		sumRem += float64(st.Removals)
+		sumRem2 += float64(st.Removals) * float64(st.Removals)
+		sumIter += float64(st.Iterations)
+		if st.Iterations > res.MaxIterations {
+			res.MaxIterations = st.Iterations
 		}
 	}
 	n := float64(runs)
@@ -381,43 +407,48 @@ type Figure2ExtPoint struct {
 // Figure2Extended runs the Figure 2 sweep with two extra baseline
 // series.
 func Figure2Extended(s *geant.Scenario, thetas []float64, trials int, seed uint64) ([]Figure2ExtPoint, error) {
-	base, err := Figure2(s, thetas, trials, seed)
+	return Figure2ExtendedCtx(context.Background(), s, thetas, trials, seed, 0)
+}
+
+// Figure2ExtendedCtx is Figure2Extended on the engine's worker pool: the
+// baseline assignments of each θ are built concurrently through
+// baseline.CompareAll and the per-θ simulations are independent engine
+// jobs, deterministically seeded per θ index.
+func Figure2ExtendedCtx(ctx context.Context, s *geant.Scenario, thetas []float64, trials int, seed uint64, workers int) ([]Figure2ExtPoint, error) {
+	base, err := Figure2Ctx(ctx, s, thetas, trials, seed, workers)
 	if err != nil {
 		return nil, err
 	}
 	sizes := s.PairSizes(Interval)
-	r := rng.New(seed ^ 0x5eed)
-	out := make([]Figure2ExtPoint, len(base))
-	for i, theta := range thetas {
-		out[i].Figure2Point = base[i]
-		budget := core.BudgetPerInterval(theta, Interval)
-		simulate := func(rho []float64) (sampling.Summary, error) {
-			var results []sampling.Result
-			for k := range s.Pairs {
-				exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], rho[k], trials, r.Split())
-				if err != nil {
-					return sampling.Summary{}, err
-				}
-				results = append(results, exp)
+	return engine.Map(ctx, engine.Options{Workers: workers, Seed: seed ^ 0x5eed}, len(thetas),
+		func(ctx context.Context, i int, r *rng.Source) (Figure2ExtPoint, error) {
+			theta := thetas[i]
+			out := Figure2ExtPoint{Figure2Point: base[i]}
+			budget := core.BudgetPerInterval(theta, Interval)
+			assigns, err := baseline.CompareAll(ctx, 0,
+				baseline.Standard(s.Matrix, s.Loads, s.MonitorLinks, s.Rates, budget))
+			if err != nil {
+				return out, fmt.Errorf("eval: θ=%v: %w", theta, err)
 			}
-			return sampling.Summarize(results), nil
-		}
-		uni, err := baseline.Uniform(s.Matrix, s.Loads, s.MonitorLinks, budget)
-		if err != nil {
-			return nil, fmt.Errorf("eval: θ=%v: %w", theta, err)
-		}
-		if out[i].Uniform, err = simulate(uni.Rho); err != nil {
-			return nil, err
-		}
-		gr, err := baseline.TwoPhaseGreedy(s.Matrix, s.Loads, s.MonitorLinks, s.Rates, budget, 0)
-		if err != nil {
-			return nil, fmt.Errorf("eval: θ=%v: %w", theta, err)
-		}
-		if out[i].Greedy, err = simulate(gr.Rho); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+			simulate := func(rho []float64) (sampling.Summary, error) {
+				var results []sampling.Result
+				for k := range s.Pairs {
+					exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], rho[k], trials, r.Split())
+					if err != nil {
+						return sampling.Summary{}, err
+					}
+					results = append(results, exp)
+				}
+				return sampling.Summarize(results), nil
+			}
+			if out.Uniform, err = simulate(assigns[0].Rho); err != nil {
+				return out, err
+			}
+			if out.Greedy, err = simulate(assigns[1].Rho); err != nil {
+				return out, err
+			}
+			return out, nil
+		})
 }
 
 // RenderFigure2Extended writes the four-series sweep (worst-pair

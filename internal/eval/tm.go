@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/geant"
 	"netsamp/internal/plan"
 	"netsamp/internal/rng"
@@ -42,6 +44,15 @@ type TMResult struct {
 // TMStudy runs the comparison at θ packets per interval with the given
 // number of sampling trials per pair.
 func TMStudy(s *geant.Scenario, theta float64, trials int, seed uint64) (*TMResult, error) {
+	return TMStudyCtx(context.Background(), s, theta, trials, seed, 0)
+}
+
+// TMStudyCtx is TMStudy with cancellation and a parallel Monte-Carlo
+// phase: the per-pair sampling experiments run as engine jobs, each on
+// its own split-seeded stream, so the result is identical for every
+// worker count. The tomogravity estimate and the optimizer solve are
+// shared work computed once, up front.
+func TMStudyCtx(ctx context.Context, s *geant.Scenario, theta float64, trials int, seed uint64, workers int) (*TMResult, error) {
 	// Estimate the FULL traffic matrix from link loads; score only the
 	// JANET pairs (the measurement task).
 	allPairs := make([]routing.ODPair, len(s.Demands.Demands))
@@ -93,41 +104,56 @@ func TMStudy(s *geant.Scenario, theta float64, trials int, seed uint64) (*TMResu
 	for i, p := range allPairs {
 		index[p.Name] = i
 	}
-	r := rng.New(seed)
 	sizes := s.PairSizes(Interval)
+
+	// Monte-Carlo phase: one engine job per JANET pair.
+	type pairScore struct {
+		truth, gravity, tomo, sampled float64
+	}
+	scores, err := engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, len(s.Pairs),
+		func(_ context.Context, k int, r *rng.Source) (pairScore, error) {
+			pr := s.Pairs[k]
+			i, ok := index[pr.Name]
+			if !ok {
+				return pairScore{}, fmt.Errorf("eval: pair %q missing from demand set", pr.Name)
+			}
+			truth := truthAll[i]
+			acc := func(est float64) float64 {
+				a := 1 - math.Abs(est-truth)/truth
+				if a < 0 {
+					return 0
+				}
+				return a
+			}
+			exp, err := sampling.Experiment(pr.Name, sizes[k], sol.Rho[k], trials, r.Split())
+			if err != nil {
+				return pairScore{}, err
+			}
+			return pairScore{
+				truth: truth, gravity: acc(prior[i]), tomo: acc(tg[i]), sampled: exp.MeanAccuracy,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &TMResult{
 		Theta:      theta,
 		MinGravity: math.Inf(1), MinTomo: math.Inf(1), MinSampled: math.Inf(1),
 	}
 	for k, pr := range s.Pairs {
-		i, ok := index[pr.Name]
-		if !ok {
-			return nil, fmt.Errorf("eval: pair %q missing from demand set", pr.Name)
-		}
-		truth := truthAll[i]
-		acc := func(est float64) float64 {
-			a := 1 - math.Abs(est-truth)/truth
-			if a < 0 {
-				return 0
-			}
-			return a
-		}
-		exp, err := sampling.Experiment(pr.Name, sizes[k], sol.Rho[k], trials, r.Split())
-		if err != nil {
-			return nil, err
-		}
-		ga, ta, sa := acc(prior[i]), acc(tg[i]), exp.MeanAccuracy
+		sc := scores[k]
 		res.Pairs = append(res.Pairs, pr.Name)
-		res.Truth = append(res.Truth, truth)
-		res.GravityAcc = append(res.GravityAcc, ga)
-		res.TomoAcc = append(res.TomoAcc, ta)
-		res.SampledAcc = append(res.SampledAcc, sa)
-		res.MeanGravity += ga
-		res.MeanTomo += ta
-		res.MeanSampled += sa
-		res.MinGravity = math.Min(res.MinGravity, ga)
-		res.MinTomo = math.Min(res.MinTomo, ta)
-		res.MinSampled = math.Min(res.MinSampled, sa)
+		res.Truth = append(res.Truth, sc.truth)
+		res.GravityAcc = append(res.GravityAcc, sc.gravity)
+		res.TomoAcc = append(res.TomoAcc, sc.tomo)
+		res.SampledAcc = append(res.SampledAcc, sc.sampled)
+		res.MeanGravity += sc.gravity
+		res.MeanTomo += sc.tomo
+		res.MeanSampled += sc.sampled
+		res.MinGravity = math.Min(res.MinGravity, sc.gravity)
+		res.MinTomo = math.Min(res.MinTomo, sc.tomo)
+		res.MinSampled = math.Min(res.MinSampled, sc.sampled)
 	}
 	n := float64(len(res.Pairs))
 	res.MeanGravity /= n

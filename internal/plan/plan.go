@@ -6,6 +6,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 
 	"netsamp/internal/core"
 	"netsamp/internal/routing"
@@ -143,11 +144,18 @@ func EffectiveRates(m *routing.Matrix, rates map[topology.LinkID]float64, exact 
 	return out
 }
 
-// SampledRate returns Σ p_i·U_i for a per-link assignment.
+// SampledRate returns Σ p_i·U_i for a per-link assignment. The sum runs
+// in link-ID order so the result is bit-reproducible across runs (map
+// iteration order would otherwise reorder the float additions).
 func SampledRate(rates map[topology.LinkID]float64, loads []float64) float64 {
+	lids := make([]topology.LinkID, 0, len(rates))
+	for lid := range rates {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
 	t := 0.0
-	for lid, p := range rates {
-		t += p * loads[lid]
+	for _, lid := range lids {
+		t += rates[lid] * loads[lid]
 	}
 	return t
 }

@@ -65,6 +65,20 @@ func (r *Source) Split() *Source {
 	return New(seed ^ 0xd2b74407b1ce6e93)
 }
 
+// SplitSeed derives the seed of the i-th child stream of a master seed
+// as a pure function of (master, i): unlike Split it involves no shared
+// state, so a batch of jobs can be seeded in any order — or concurrently
+// — and job i always receives the same stream. This is the determinism
+// contract of internal/engine: results are bit-identical regardless of
+// worker count. Two SplitMix64 rounds decorrelate even adjacent indices.
+func SplitSeed(master, i uint64) uint64 {
+	x := master
+	h := splitMix64(&x)
+	x = h ^ (i+1)*0x9e3779b97f4a7c15
+	splitMix64(&x)
+	return splitMix64(&x)
+}
+
 // Float64 returns a uniformly distributed value in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high bits scaled by 2^-53, the standard full-precision construction.

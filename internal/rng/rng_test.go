@@ -325,3 +325,34 @@ func BenchmarkBinomialLarge(b *testing.B) {
 		_ = r.Binomial(10_000_000, 0.01)
 	}
 }
+
+// TestSplitSeedOrderIndependence: SplitSeed is a pure function of
+// (master, index) — the property the engine's worker-count determinism
+// rests on — and adjacent indices must not collide or correlate with
+// the sequential Split() stream.
+func TestSplitSeedOrderIndependence(t *testing.T) {
+	const master = 0xfeedface
+	want := make([]uint64, 64)
+	for i := range want {
+		want[i] = SplitSeed(master, uint64(i))
+	}
+	// Recompute in reverse: identical values.
+	for i := len(want) - 1; i >= 0; i-- {
+		if got := SplitSeed(master, uint64(i)); got != want[i] {
+			t.Fatalf("SplitSeed(%d) not pure: %x vs %x", i, got, want[i])
+		}
+	}
+	seen := make(map[uint64]int, len(want))
+	for i, s := range want {
+		if j, dup := seen[s]; dup {
+			t.Fatalf("seed collision between indices %d and %d", i, j)
+		}
+		seen[s] = i
+	}
+	// First draws of adjacent streams should look independent.
+	a := New(SplitSeed(master, 0)).Float64()
+	b := New(SplitSeed(master, 1)).Float64()
+	if a == b {
+		t.Fatal("adjacent split streams start identically")
+	}
+}
