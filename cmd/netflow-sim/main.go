@@ -288,7 +288,7 @@ func run(theta float64, seed uint64, scale float64, archive string) error {
 	}
 	cs := collector.Stats()
 	fmt.Printf("replayed interval in %v; sampled %d task packets (θ=%.0f also covers cross traffic, not replayed); collector: %d records, %d lost\n\n",
-		time.Since(start).Round(time.Millisecond), sampledTotal, theta, cs.Records, cs.LostDatagrams)
+		time.Since(start).Round(time.Millisecond), sampledTotal, theta, cs.Records, cs.LostRecords)
 
 	bins := est.Estimates()
 	if len(bins) == 0 {

@@ -12,13 +12,15 @@
 //	netsamp detect   [-theta N] [-size N] [-workers N]
 //	netsamp tm       [-theta N] [-trials N] [-workers N]
 //	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
+//	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
 //	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
 //	netsamp topo
 //	netsamp all
 //
 // Every experiment is deterministic for a given seed, and the studies
 // that accept -workers produce bit-identical output for every worker
-// count (per-job RNG streams are split-seeded by job index).
+// count (per-job RNG streams are split-seeded by job index). -workers
+// must be >= 0; 0 means GOMAXPROCS.
 package main
 
 import (
@@ -61,6 +63,8 @@ func main() {
 		err = cmdTM(args)
 	case "dynamic":
 		err = cmdDynamic(args)
+	case "degrade":
+		err = cmdDegrade(args)
 	case "optimize":
 		err = cmdOptimize(args)
 	case "report":
@@ -97,6 +101,7 @@ commands:
   detect       anomaly-detection placement (detection-probability utility)
   tm           traffic-matrix estimation: SNMP counters vs optimized sampling
   dynamic      static vs re-optimized plans under traffic/routing dynamics
+  degrade      accuracy under monitor crashes and export loss, naive vs graceful
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
   export-spec  dump a built-in scenario as an editable .netsamp file
@@ -112,7 +117,17 @@ func scenarioFlags(fs *flag.FlagSet) *uint64 {
 // engine's worker pool. Results are identical for every worker count;
 // the flag only trades wall-clock time for CPU.
 func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", 0, "parallel solver workers (0 = GOMAXPROCS); results are worker-count independent")
+	return fs.Int("workers", 0, "parallel solver workers, must be >= 0 (0 = GOMAXPROCS); results are worker-count independent")
+}
+
+// checkWorkers rejects negative -workers values with a usage error
+// before any work starts.
+func checkWorkers(fs *flag.FlagSet, workers int) error {
+	if workers < 0 {
+		fs.Usage()
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)", workers)
+	}
+	return nil
 }
 
 func cmdFigure1(args []string) error {
@@ -157,6 +172,9 @@ func cmdFigure2(args []string) error {
 	seed := scenarioFlags(fs)
 	workers := workersFlag(fs)
 	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
@@ -186,6 +204,9 @@ func cmdConvergence(args []string) error {
 	seed := scenarioFlags(fs)
 	workers := workersFlag(fs)
 	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
@@ -275,6 +296,9 @@ func cmdTM(args []string) error {
 	seed := scenarioFlags(fs)
 	workers := workersFlag(fs)
 	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
@@ -293,6 +317,9 @@ func cmdDetect(args []string) error {
 	seed := scenarioFlags(fs)
 	workers := workersFlag(fs)
 	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
@@ -311,6 +338,9 @@ func cmdDynamic(args []string) error {
 	seed := scenarioFlags(fs)
 	workers := workersFlag(fs)
 	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
 	s, err := geant.Build(*seed)
 	if err != nil {
 		return err
@@ -320,6 +350,44 @@ func cmdDynamic(args []string) error {
 		return err
 	}
 	return eval.RenderDynamic(os.Stdout, res)
+}
+
+func cmdDegrade(args []string) error {
+	fs := flag.NewFlagSet("degrade", flag.ExitOnError)
+	intervals := fs.Int("intervals", 8, "simulated 5-minute intervals per grid point")
+	theta := fs.Float64("theta", 100000, "budget θ in packets per interval")
+	overrun := fs.Float64("overrun", 0.2, "per-interval solver overrun probability (0 disables)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
+	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
+	if *overrun < 0 || *overrun > 1 {
+		fs.Usage()
+		return fmt.Errorf("invalid -overrun %v: must be in [0, 1]", *overrun)
+	}
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	cfg := eval.DegradeConfig{
+		Intervals: *intervals, Theta: *theta, OverrunRate: *overrun,
+		Seed: *seed + 6000, Workers: *workers,
+	}
+	if *overrun == 0 {
+		cfg.OverrunRate = -1 // explicit zero, not "use the default"
+	}
+	res, err := eval.DegradationStudy(context.Background(), s, cfg)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		header, rows := eval.DegradeCSV(res)
+		return eval.WriteCSV(os.Stdout, header, rows)
+	}
+	return eval.RenderDegrade(os.Stdout, res)
 }
 
 func cmdOptimize(args []string) error {
@@ -502,6 +570,10 @@ func cmdAll(args []string) error {
 	}
 	fmt.Println("\n=== Dynamic re-optimization ===")
 	if err := cmdDynamic(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Degradation under faults ===")
+	if err := cmdDegrade(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Max-min extension ===")

@@ -196,8 +196,8 @@ func main() {
 	collector.Close()
 	<-done
 	cs := collector.Stats()
-	fmt.Printf("collector: %d datagrams, %d records, %d lost, %d malformed\n\n",
-		cs.Datagrams, cs.Records, cs.LostDatagrams, cs.Malformed)
+	fmt.Printf("collector: %d datagrams, %d records, %d lost records, %d malformed\n\n",
+		cs.Datagrams, cs.Records, cs.LostRecords, cs.Malformed)
 
 	// --- Report ---------------------------------------------------------
 	fmt.Printf("%-8s %12s %12s %10s\n", "OD pair", "actual pkts", "estimated", "accuracy")

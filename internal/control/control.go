@@ -19,9 +19,11 @@ package control
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"netsamp/internal/core"
 	"netsamp/internal/engine"
@@ -42,6 +44,16 @@ type Options struct {
 	// to change the active monitor set (e.g. 0.01 = 1%). 0 disables
 	// hysteresis: every interval adopts the unconstrained optimum.
 	SwitchGain float64
+	// ReviveAfter is the re-activation hysteresis: a monitor reported
+	// down must then be observed healthy for this many consecutive
+	// intervals before it rejoins the candidate set. 0 readmits a
+	// recovered monitor immediately; flapping monitors warrant 1–2.
+	ReviveAfter int
+	// SolveTimeout bounds each interval's solver wall-clock time (zero
+	// disables). A solve that overruns fails that interval's
+	// re-optimization and the controller falls back to its last good
+	// plan instead of blocking the deployment loop.
+	SolveTimeout time.Duration
 	// Solve carries the inner solver options.
 	Solve core.Options
 }
@@ -59,6 +71,19 @@ type Decision struct {
 	// optimum over the best retained-set plan (0 when the set was free
 	// to begin with).
 	Gain float64
+	// Degraded reports that this interval's re-optimization failed and
+	// Plan is the last known-good plan, restricted to surviving monitors
+	// and rescaled to respect the budget. Solution is nil in that case.
+	Degraded bool
+	// Excluded lists candidate links withheld from this interval's
+	// optimization: monitors reported down, plus recovered monitors
+	// still serving their ReviveAfter probation.
+	Excluded []topology.LinkID
+	// Uncovered counts OD pairs that traverse no eligible link this
+	// interval — unmeasurable until a monitor on their path revives. The
+	// optimization proceeds for the remaining pairs (Solution indexes the
+	// covered pairs only).
+	Uncovered int
 }
 
 // Controller holds the cross-interval state. The zero value is not
@@ -68,6 +93,13 @@ type Controller struct {
 	active    []topology.LinkID // current monitor set (sorted)
 	ewmaLoads []float64
 	steps     int
+	fallbacks int
+	// lastGood is each monitor's most recent successfully solved rate —
+	// merged across intervals, not just the latest (sparse) plan, so a
+	// fallback can re-enable any surviving monitor at its last
+	// configuration even if the previous interval's optimum skipped it.
+	lastGood  map[topology.LinkID]float64
+	probation map[topology.LinkID]int // healthy intervals still owed before readmission
 }
 
 // New returns a controller. Budget must be positive.
@@ -81,10 +113,16 @@ func New(opts Options) (*Controller, error) {
 	if opts.SwitchGain < 0 {
 		return nil, fmt.Errorf("control: switch gain %v, want >= 0", opts.SwitchGain)
 	}
+	if opts.ReviveAfter < 0 {
+		return nil, fmt.Errorf("control: revive after %d, want >= 0", opts.ReviveAfter)
+	}
+	if opts.SolveTimeout < 0 {
+		return nil, fmt.Errorf("control: solve timeout %v, want >= 0", opts.SolveTimeout)
+	}
 	if opts.SmoothAlpha == 0 {
 		opts.SmoothAlpha = 1
 	}
-	return &Controller{opts: opts}, nil
+	return &Controller{opts: opts, probation: make(map[topology.LinkID]int)}, nil
 }
 
 // ActiveSet returns the currently active monitor links (sorted copy).
@@ -94,6 +132,40 @@ func (c *Controller) ActiveSet() []topology.LinkID {
 
 // Steps returns how many intervals the controller has processed.
 func (c *Controller) Steps() int { return c.steps }
+
+// Fallbacks returns how many intervals were served from the last
+// known-good plan because re-optimization failed.
+func (c *Controller) Fallbacks() int { return c.fallbacks }
+
+// ErrNoFallback wraps a failed re-optimization that could not be
+// absorbed: no previous plan exists, or no surviving monitor carries it.
+var ErrNoFallback = errors.New("control: re-optimization failed with no usable fallback plan")
+
+// errInjectedSolve is the sentinel StepInput.FailSolve injects.
+var errInjectedSolve = errors.New("control: injected solver failure")
+
+// StepInput gathers one interval's observations for StepResilient.
+type StepInput struct {
+	// Matrix, Loads, Candidates and InvSizes are the interval's routing
+	// matrix, raw per-link packet rates, monitorable link set and
+	// per-pair E[1/S_k] — as in Step.
+	Matrix     *routing.Matrix
+	Loads      []float64
+	Candidates []topology.LinkID
+	InvSizes   []float64
+	// Workers bounds the interval's concurrent solves (0 = GOMAXPROCS).
+	Workers int
+	// Down lists monitors observed failed this interval (crashed,
+	// unreachable, or silent). They are excluded from the optimization
+	// and re-enter only after ReviveAfter healthy intervals.
+	Down []topology.LinkID
+	// FailSolve injects a solver failure (fault injection for tests and
+	// degradation studies).
+	FailSolve bool
+	// Delay injects artificial solver latency ahead of the solve; with
+	// SolveTimeout set it models an overrunning solver.
+	Delay time.Duration
+}
 
 // Step ingests one interval's routing matrix, raw link loads (indexed by
 // LinkID) and per-pair utility parameters, and returns the plan to
@@ -107,27 +179,131 @@ func (c *Controller) Step(matrix *routing.Matrix, loads []float64, candidates []
 // compares it against — are independent, so they run as concurrent
 // engine jobs.
 func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, loads []float64, candidates []topology.LinkID, invSizes []float64, workers int) (*Decision, error) {
-	if len(candidates) == 0 {
+	return c.StepResilient(ctx, StepInput{
+		Matrix:     matrix,
+		Loads:      loads,
+		Candidates: candidates,
+		InvSizes:   invSizes,
+		Workers:    workers,
+	})
+}
+
+// StepResilient is the full controller step: StepContext plus the
+// failure model. Monitors listed in in.Down are excluded from the
+// optimization (and re-enter only after ReviveAfter consecutive healthy
+// intervals); a solver failure or SolveTimeout overrun degrades to the
+// last known-good plan restricted to surviving monitors and rescaled so
+// Σ p_i·U_i ≤ θ still holds against the controller's load estimate.
+func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("control: step aborted: %w", err)
+	}
+	if len(in.Candidates) == 0 {
 		return nil, fmt.Errorf("control: empty candidate set")
 	}
+
+	// Health bookkeeping: a down monitor is excluded and owes
+	// ReviveAfter healthy intervals; a recovered monitor counts them
+	// down in probation before rejoining.
+	downSet := make(map[topology.LinkID]bool, len(in.Down))
+	for _, lid := range in.Down {
+		downSet[lid] = true
+	}
+	var eligible, excluded []topology.LinkID
+	for _, lid := range in.Candidates {
+		switch {
+		case downSet[lid]:
+			c.probation[lid] = c.opts.ReviveAfter
+			excluded = append(excluded, lid)
+		case c.probation[lid] > 0:
+			c.probation[lid]--
+			excluded = append(excluded, lid)
+		default:
+			delete(c.probation, lid)
+			eligible = append(eligible, lid)
+		}
+	}
+	// Hysteresis yields to coverage: a healthy monitor still serving its
+	// probation is readmitted immediately when an OD pair would otherwise
+	// traverse no eligible link — flap damping is not worth losing a
+	// pair's measurement entirely.
+	if len(excluded) > 0 {
+		eligSet := make(map[topology.LinkID]bool, len(eligible))
+		for _, lid := range eligible {
+			eligSet[lid] = true
+		}
+		held := make(map[topology.LinkID]bool, len(excluded))
+		for _, lid := range excluded {
+			if !downSet[lid] {
+				held[lid] = true
+			}
+		}
+		readmitted := false
+		for _, row := range in.Matrix.Rows {
+			covered := false
+			for _, lid := range row {
+				if eligSet[lid] {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			for _, lid := range row {
+				if held[lid] {
+					delete(c.probation, lid)
+					eligSet[lid] = true
+					readmitted = true
+				}
+			}
+		}
+		if readmitted {
+			eligible, excluded = eligible[:0], excluded[:0]
+			for _, lid := range in.Candidates {
+				if eligSet[lid] {
+					eligible = append(eligible, lid)
+				} else {
+					excluded = append(excluded, lid)
+				}
+			}
+		}
+	}
+	sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("control: no monitor eligible (%d candidates all down or in probation)", len(in.Candidates))
+	}
+
 	// EWMA the loads (element-wise; topology size may change between
 	// steps — reset the filter if it does).
-	if c.ewmaLoads == nil || len(c.ewmaLoads) != len(loads) {
-		c.ewmaLoads = append([]float64(nil), loads...)
+	if c.ewmaLoads == nil || len(c.ewmaLoads) != len(in.Loads) {
+		c.ewmaLoads = append([]float64(nil), in.Loads...)
 	} else {
 		a := c.opts.SmoothAlpha
-		for i, u := range loads {
+		for i, u := range in.Loads {
 			c.ewmaLoads[i] = (1-a)*c.ewmaLoads[i] + a*u
 		}
 	}
 	smoothed := c.ewmaLoads
 
+	// Pairs whose entire path lost its monitors are unmeasurable this
+	// interval; dropping them (instead of failing the solve outright)
+	// keeps the optimization alive for everyone else.
+	eligMatrix, eligInv, uncovered := coverageFilter(in.Matrix, in.InvSizes, eligible)
+
 	solveOn := func(cands []topology.LinkID) (*core.Solution, error) {
+		m, inv := eligMatrix, eligInv
+		if len(cands) != len(eligible) {
+			m, inv, _ = coverageFilter(in.Matrix, in.InvSizes, cands)
+		}
+		if len(m.Pairs) == 0 {
+			return nil, fmt.Errorf("control: no pair measurable on %d eligible links", len(cands))
+		}
 		prob, _, err := plan.Build(plan.Input{
-			Matrix:       matrix,
+			Matrix:       m,
 			Loads:        smoothed,
 			Candidates:   cands,
-			InvMeanSizes: invSizes,
+			InvMeanSizes: inv,
 			Budget:       c.opts.Budget,
 		})
 		if err != nil {
@@ -137,20 +313,32 @@ func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, lo
 	}
 
 	// Retained-set plan: re-tune rates on the intersection of the old
-	// active set with today's candidates (only meaningful once a set is
-	// active and hysteresis is on). A failing retained solve means a pair
-	// lost coverage — the set is infeasible and we must switch, so its
-	// error is deliberately demoted to "no retained plan".
+	// active set with today's eligible links (only meaningful once a set
+	// is active and hysteresis is on). A failing retained solve means a
+	// pair lost coverage — the set is infeasible and we must switch, so
+	// its error is deliberately demoted to "no retained plan".
 	var retained []topology.LinkID
 	if c.active != nil && c.opts.SwitchGain != 0 {
-		retained = intersect(c.active, candidates)
+		retained = intersect(c.active, eligible)
 	}
 
 	var full, retainedSol *core.Solution
 	jobs := []engine.Job{
-		func(context.Context, *rng.Source) error {
+		func(jctx context.Context, _ *rng.Source) error {
+			if in.Delay > 0 {
+				t := time.NewTimer(in.Delay)
+				select {
+				case <-t.C:
+				case <-jctx.Done():
+					t.Stop()
+					return jctx.Err()
+				}
+			}
+			if in.FailSolve {
+				return errInjectedSolve
+			}
 			var err error
-			full, err = solveOn(candidates)
+			full, err = solveOn(eligible)
 			return err
 		},
 	}
@@ -160,10 +348,20 @@ func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, lo
 			return nil
 		})
 	}
-	if err := engine.Run(ctx, engine.Options{Workers: workers}, jobs...); err != nil {
-		return nil, err
+	runErr := engine.Run(ctx, engine.Options{Workers: in.Workers, JobTimeout: c.opts.SolveTimeout}, jobs...)
+	if ctx.Err() != nil {
+		// The caller's deadline, not a solver failure: no fallback.
+		return nil, runErr
 	}
-	fullRates := plan.RatesByLink(full, candidates)
+	if runErr != nil || full == nil {
+		d, err := c.fallback(runErr, eligible, excluded, smoothed)
+		if err != nil {
+			return nil, err
+		}
+		d.Uncovered = uncovered
+		return d, nil
+	}
+	fullRates := plan.RatesByLink(full, eligible)
 	fullSet := sortedKeys(fullRates)
 
 	c.steps++
@@ -171,12 +369,14 @@ func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, lo
 	if c.active == nil || c.opts.SwitchGain == 0 {
 		changed := !equalSets(c.active, fullSet)
 		c.active = fullSet
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: changed}, nil
+		c.rememberGood(fullRates)
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: changed, Excluded: excluded, Uncovered: uncovered}, nil
 	}
 
 	if retainedSol == nil {
 		c.active = fullSet
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: true}, nil
+		c.rememberGood(fullRates)
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Excluded: excluded, Uncovered: uncovered}, nil
 	}
 	gain := 0.0
 	if retainedSol.Objective != 0 {
@@ -184,12 +384,114 @@ func (c *Controller) StepContext(ctx context.Context, matrix *routing.Matrix, lo
 	}
 	if gain > c.opts.SwitchGain {
 		c.active = fullSet
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Gain: gain}, nil
+		c.rememberGood(fullRates)
+		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Gain: gain, Excluded: excluded, Uncovered: uncovered}, nil
 	}
 	// Keep the set; deploy re-tuned rates.
 	rates := plan.RatesByLink(retainedSol, retained)
 	c.active = sortedKeys(rates)
-	return &Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain}, nil
+	c.rememberGood(rates)
+	return &Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain, Excluded: excluded, Uncovered: uncovered}, nil
+}
+
+// fallback serves an interval whose re-optimization failed: the last
+// known-good plan restricted to surviving (eligible) monitors, rescaled
+// so Σ p_i·U_i ≤ θ against the smoothed load estimate. The stored last
+// good plan is left untouched — a later interval with more survivors
+// restores their rates.
+func (c *Controller) fallback(cause error, eligible, excluded []topology.LinkID, loads []float64) (*Decision, error) {
+	if len(c.lastGood) == 0 {
+		return nil, fmt.Errorf("%w: no previous plan (cause: %v)", ErrNoFallback, cause)
+	}
+	elig := make(map[topology.LinkID]bool, len(eligible))
+	for _, lid := range eligible {
+		elig[lid] = true
+	}
+	fb := make(map[topology.LinkID]float64)
+	for lid, p := range c.lastGood {
+		if elig[lid] {
+			fb[lid] = p
+		}
+	}
+	if len(fb) == 0 {
+		return nil, fmt.Errorf("%w: no surviving monitor carries the previous plan (cause: %v)", ErrNoFallback, cause)
+	}
+	// Rescale into the budget: overspend (load growth since the plan was
+	// made) scales down; capacity freed by dead monitors is re-spent on
+	// the survivors, capped at rate 1. Either way Σ p_i·U_i ≤ θ holds.
+	if spend := plan.SampledRate(fb, loads); spend > c.opts.Budget || spend < c.opts.Budget*(1-1e-6) && spend > 0 {
+		scale := c.opts.Budget / spend
+		for lid := range fb {
+			fb[lid] = math.Min(1, fb[lid]*scale)
+		}
+	}
+	set := sortedKeys(fb)
+	changed := !equalSets(c.active, set)
+	c.active = set
+	c.steps++
+	c.fallbacks++
+	return &Decision{Plan: fb, SetChanged: changed, Degraded: true, Excluded: excluded}, nil
+}
+
+// coverageFilter drops OD pairs that traverse no link of cands: their
+// measurement is impossible on that monitor set, and failing the whole
+// interval for them would be the opposite of graceful degradation. It
+// returns the (possibly shared) filtered matrix, the matching utility
+// parameters, and the number of pairs dropped.
+func coverageFilter(m *routing.Matrix, inv []float64, cands []topology.LinkID) (*routing.Matrix, []float64, int) {
+	set := make(map[topology.LinkID]bool, len(cands))
+	for _, lid := range cands {
+		set[lid] = true
+	}
+	keep := make([]bool, len(m.Pairs))
+	dropped := 0
+	for k, row := range m.Rows {
+		for _, lid := range row {
+			if set[lid] {
+				keep[k] = true
+				break
+			}
+		}
+		if !keep[k] {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return m, inv, 0
+	}
+	fm := &routing.Matrix{}
+	var finv []float64
+	for k := range m.Pairs {
+		if !keep[k] {
+			continue
+		}
+		fm.Pairs = append(fm.Pairs, m.Pairs[k])
+		fm.Rows = append(fm.Rows, m.Rows[k])
+		if m.Fracs != nil {
+			fm.Fracs = append(fm.Fracs, m.Fracs[k])
+		}
+		finv = append(finv, inv[k])
+	}
+	return fm, finv, dropped
+}
+
+// rememberGood merges a freshly solved plan into the per-monitor last
+// known-good rates.
+func (c *Controller) rememberGood(rates map[topology.LinkID]float64) {
+	if c.lastGood == nil {
+		c.lastGood = make(map[topology.LinkID]float64, len(rates))
+	}
+	for lid, p := range rates {
+		c.lastGood[lid] = p
+	}
+}
+
+func copyRates(m map[topology.LinkID]float64) map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64, len(m))
+	for lid, p := range m {
+		out[lid] = p
+	}
+	return out
 }
 
 func sortedKeys(m map[topology.LinkID]float64) []topology.LinkID {

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"netsamp/internal/rng"
 )
@@ -40,6 +41,13 @@ type Options struct {
 	// Seed is the master seed; job i receives a Source seeded with
 	// rng.SplitSeed(Seed, i).
 	Seed uint64
+	// JobTimeout bounds each job's wall-clock time (zero disables). A
+	// job receives a context with this deadline; a job that overruns it
+	// fails individually with a *TimeoutError (matchable with
+	// errors.Is(err, ErrJobTimeout)) while the rest of the batch
+	// completes. Jobs must honour their context for the deadline to
+	// interrupt them.
+	JobTimeout time.Duration
 }
 
 func (o Options) workers() int {
@@ -59,6 +67,28 @@ type PanicError struct {
 
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// ErrJobTimeout is the sentinel a job's error matches (via errors.Is)
+// when the job exceeded Options.JobTimeout. The overrun poisons only
+// that job: siblings run to completion.
+var ErrJobTimeout = errors.New("engine: job exceeded its timeout")
+
+// TimeoutError reports one job that overran Options.JobTimeout.
+type TimeoutError struct {
+	Job     int
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("engine: job %d exceeded its %v timeout", e.Job, e.Timeout)
+}
+
+// Is makes errors.Is(err, ErrJobTimeout) match. A per-job timeout
+// deliberately does NOT match context.DeadlineExceeded, so callers can
+// tell a job overrun apart from the batch's own deadline expiring.
+func (e *TimeoutError) Is(target error) bool {
+	return target == ErrJobTimeout
 }
 
 // Map runs fn for every index in [0, n) and returns the results in
@@ -91,7 +121,7 @@ func Map[T any](ctx context.Context, opt Options, n int, fn func(ctx context.Con
 					errs[job] = ctx.Err()
 					continue
 				}
-				runJob(ctx, opt.Seed, job, fn, results, errs)
+				runJob(ctx, opt, job, fn, results, errs)
 			}
 		}()
 	}
@@ -121,15 +151,31 @@ feed:
 	return results, errors.Join(agg...)
 }
 
-// runJob executes one job with panic isolation.
-func runJob[T any](ctx context.Context, seed uint64, job int, fn func(ctx context.Context, job int, r *rng.Source) (T, error), results []T, errs []error) {
+// runJob executes one job with panic isolation and, when configured,
+// a per-job deadline.
+func runJob[T any](ctx context.Context, opt Options, job int, fn func(ctx context.Context, job int, r *rng.Source) (T, error), results []T, errs []error) {
 	defer func() {
 		if v := recover(); v != nil {
 			errs[job] = &PanicError{Job: job, Value: v, Stack: debug.Stack()}
 		}
 	}()
-	r := rng.New(rng.SplitSeed(seed, uint64(job)))
-	results[job], errs[job] = fn(ctx, job, r)
+	jctx := ctx
+	if opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, opt.JobTimeout)
+		defer cancel()
+	}
+	r := rng.New(rng.SplitSeed(opt.Seed, uint64(job)))
+	results[job], errs[job] = fn(jctx, job, r)
+	// A deadline that fired on the job's private context — while the
+	// batch context is still live — is this job's overrun, not a batch
+	// failure: convert it into a TimeoutError so callers can match it
+	// and siblings keep running.
+	if errs[job] != nil && jctx != ctx &&
+		jctx.Err() == context.DeadlineExceeded && ctx.Err() == nil &&
+		errors.Is(errs[job], context.DeadlineExceeded) {
+		errs[job] = &TimeoutError{Job: job, Timeout: opt.JobTimeout}
+	}
 }
 
 // Job is one unit of work for Run. The Source is private to the job and

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -139,6 +140,120 @@ func TestRunCancellation(t *testing.T) {
 			t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobTimeoutIsolation covers the per-job timeout contract: an
+// overrun job fails alone with an ErrJobTimeout-matchable error while
+// its siblings complete normally.
+func TestJobTimeoutIsolation(t *testing.T) {
+	out, err := Map(context.Background(), Options{Workers: 4, JobTimeout: 30 * time.Millisecond}, 8,
+		func(ctx context.Context, job int, _ *rng.Source) (int, error) {
+			if job == 3 {
+				<-ctx.Done() // simulate a job that only stops at its deadline
+				return 0, ctx.Err()
+			}
+			return job * 10, nil
+		})
+	if err == nil {
+		t.Fatal("timeout not reported")
+	}
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("aggregated error does not match ErrJobTimeout: %v", err)
+	}
+	// The job timeout must not masquerade as a batch deadline.
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("job timeout leaked as DeadlineExceeded: %v", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Job != 3 {
+		t.Fatalf("wrong timeout attribution: %v", err)
+	}
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 7} {
+		if out[i] != i*10 {
+			t.Fatalf("sibling job %d result lost: %d", i, out[i])
+		}
+	}
+}
+
+// TestJobTimeoutKeepsJobErrors: a job that fails on its own after the
+// deadline with an unrelated error keeps that error — only deadline
+// errors are converted.
+func TestJobTimeoutKeepsJobErrors(t *testing.T) {
+	sentinel := errors.New("domain failure")
+	_, err := Map(context.Background(), Options{Workers: 2, JobTimeout: time.Hour}, 2,
+		func(_ context.Context, job int, _ *rng.Source) (int, error) {
+			if job == 0 {
+				return 0, sentinel
+			}
+			return 1, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("job error lost: %v", err)
+	}
+	if errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("non-timeout failure reported as timeout: %v", err)
+	}
+}
+
+// TestJobTimeoutNoLeak mirrors the cancellation leak test: a batch
+// whose jobs all overrun their per-job deadline must drain completely
+// and leave no goroutines behind.
+func TestJobTimeoutNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	err := Run(context.Background(), Options{Workers: 4, JobTimeout: 10 * time.Millisecond},
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context, _ *rng.Source) error { <-ctx.Done(); return ctx.Err() },
+	)
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("want ErrJobTimeout, got %v", err)
+	}
+	// Every job failed individually; all six must be reported.
+	for i := 0; i < 6; i++ {
+		if !strings.Contains(err.Error(), fmt.Sprintf("job %d", i)) {
+			t.Fatalf("job %d overrun not reported: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobTimeoutUnderParentCancellation: when the batch context itself
+// is cancelled, jobs report the batch cancellation, not a job timeout.
+func TestJobTimeoutUnderParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- Run(ctx, Options{Workers: 2, JobTimeout: time.Hour},
+			func(ctx context.Context, _ *rng.Source) error {
+				once.Do(func() { close(started) })
+				<-ctx.Done()
+				return ctx.Err()
+			})
+	}()
+	<-started
+	cancel()
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("cancellation misreported as job timeout: %v", err)
 	}
 }
 

@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"netsamp/internal/rng"
+)
+
+// Channel injects datagram-level faults — loss, duplication, one-slot
+// reordering — into an in-order datagram stream, modeling the UDP path
+// between a netflow.Exporter and its collector. Faults are drawn from
+// the plan's deterministic per-channel stream, so a given (seed,
+// channel id) corrupts a given datagram sequence identically on every
+// run.
+//
+// A Channel is not safe for concurrent use: it models a single ordered
+// stream, matching the exporter's per-connection write ordering.
+type Channel struct {
+	plan *Plan
+	r    *rng.Source
+	held []byte // datagram delayed one slot by a reorder fault
+
+	lost, duped, reordered uint64
+	delivered              uint64
+}
+
+// Channel returns the fault injector of the datagram stream identified
+// by id (use the exporter ID). Streams with distinct ids are
+// independent.
+func (p *Plan) Channel(id uint32) *Channel {
+	return &Channel{plan: p, r: p.source(domChannel, uint64(id), 0)}
+}
+
+// Transmit pushes one datagram through the faulty channel, invoking
+// deliver zero or more times (zero: lost; twice: duplicated; a held
+// datagram is delivered after its successor, modeling reordering). The
+// slice passed to deliver is a private copy.
+func (c *Channel) Transmit(b []byte, deliver func([]byte)) {
+	cfg := c.plan.cfg
+	if c.r.Bernoulli(cfg.DatagramLoss) {
+		c.lost++
+		return
+	}
+	d := append([]byte(nil), b...)
+	if c.held == nil && c.r.Bernoulli(cfg.DatagramReorder) {
+		c.reordered++
+		c.held = d
+		return
+	}
+	c.deliver(d, deliver)
+	if c.held != nil {
+		h := c.held
+		c.held = nil
+		c.deliver(h, deliver)
+	}
+}
+
+func (c *Channel) deliver(d []byte, deliver func([]byte)) {
+	deliver(d)
+	c.delivered++
+	if c.r.Bernoulli(c.plan.cfg.DatagramDup) {
+		c.duped++
+		deliver(append([]byte(nil), d...))
+		c.delivered++
+	}
+}
+
+// Flush delivers a datagram still held back by a reorder fault. Call it
+// when the stream ends.
+func (c *Channel) Flush(deliver func([]byte)) {
+	if c.held != nil {
+		h := c.held
+		c.held = nil
+		c.deliver(h, deliver)
+	}
+}
+
+// Lost, Duplicated, Reordered and Delivered report the channel's fault
+// accounting: datagrams dropped, extra copies injected, datagrams held
+// back one slot, and total deliver invocations.
+func (c *Channel) Lost() uint64       { return c.lost }
+func (c *Channel) Duplicated() uint64 { return c.duped }
+func (c *Channel) Reordered() uint64  { return c.reordered }
+func (c *Channel) Delivered() uint64  { return c.delivered }
+
+// ChannelConn adapts a Channel onto a net.Conn: every Write passes
+// through the fault injector and surviving datagrams are written to the
+// underlying connection. It lets a netflow.Exporter run unmodified over
+// a faulty path.
+type ChannelConn struct {
+	net.Conn
+	mu sync.Mutex
+	ch *Channel
+}
+
+// NewChannelConn wraps conn with the channel's datagram faults.
+func NewChannelConn(conn net.Conn, ch *Channel) *ChannelConn {
+	return &ChannelConn{Conn: conn, ch: ch}
+}
+
+// Write pushes the datagram through the fault channel. It reports the
+// full length even when the datagram is dropped — loss on a UDP path is
+// invisible to the sender, which is exactly the failure mode under
+// study.
+func (c *ChannelConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	c.ch.Transmit(b, func(d []byte) {
+		if err == nil {
+			_, err = c.Conn.Write(d)
+		}
+	})
+	return len(b), err
+}
+
+// ErrInjected is the error FlakyConn returns for an injected write
+// failure. Retry layers should treat it as transient.
+var ErrInjected = errors.New("faults: injected write error")
+
+// FlakyConn wraps a net.Conn and fails writes on demand, for testing
+// retry paths. It is safe for concurrent use.
+type FlakyConn struct {
+	net.Conn
+	mu       sync.Mutex
+	failNext int
+	injected uint64
+}
+
+// NewFlakyConn wraps conn. The connection behaves normally until
+// FailNext arms it.
+func NewFlakyConn(conn net.Conn) *FlakyConn {
+	return &FlakyConn{Conn: conn}
+}
+
+// FailNext makes the next n writes fail with ErrInjected.
+func (c *FlakyConn) FailNext(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failNext = n
+}
+
+// Injected returns how many writes were failed.
+func (c *FlakyConn) Injected() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// Write fails with ErrInjected while armed, then delegates.
+func (c *FlakyConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.failNext > 0 {
+		c.failNext--
+		c.injected++
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	c.mu.Unlock()
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,213 @@
+// Package faults provides deterministic, seed-driven fault injection
+// for the monitoring pipeline. The paper's premise is operational —
+// monitors are reconfigured every measurement interval to follow
+// traffic and routing dynamics (Sections I, VI) — and operational
+// systems lose monitors, drop export datagrams and blow solver
+// deadlines. This package models those failures so the rest of the
+// system can be exercised (and measured) under them.
+//
+// Every fault draw is a pure function of (Config.Seed, fault domain,
+// interval, entity) built on rng.SplitSeed, the same split-seeding
+// discipline internal/engine uses for its jobs. Two consequences:
+//
+//   - a fault plan can be queried from any number of goroutines in any
+//     order and always returns the same answer (Plan is stateless and
+//     safe for concurrent use);
+//   - a degradation study runs bit-identically at any worker count,
+//     so robustness results are reproducible artifacts, not anecdotes.
+//
+// The stateful injectors (Channel for the exporter→collector datagram
+// path, FlakyConn for transient socket errors) are deterministic given
+// their construction order, mirroring the in-order semantics of the
+// stream they corrupt.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"netsamp/internal/rng"
+	"netsamp/internal/topology"
+)
+
+// Config parameterizes a fault plan. The zero value injects no faults.
+// All probabilities are per-trial in [0, 1].
+type Config struct {
+	// Seed drives every fault draw; distinct seeds give independent
+	// fault histories.
+	Seed uint64
+
+	// MonitorCrash is the per-interval probability that a monitor
+	// starts an outage. Outage lengths are geometric-like with mean
+	// MeanOutage intervals, hard-capped at MaxOutage.
+	MonitorCrash float64
+	// MeanOutage is the mean outage length in intervals (values < 1
+	// select 1: crash-and-recover within one interval).
+	MeanOutage float64
+	// MaxOutage caps any single outage (default 8 intervals). The cap
+	// bounds the lookback window of MonitorDown, keeping queries O(cap).
+	MaxOutage int
+
+	// RateClamp is the per-interval probability that a monitor only
+	// achieves ClampFactor of its assigned sampling rate (a router
+	// rejecting or degrading a configured 1-in-N interval).
+	RateClamp float64
+	// ClampFactor is the achieved fraction of the assigned rate when a
+	// clamp fault fires (default 0.5).
+	ClampFactor float64
+
+	// DatagramLoss, DatagramDup and DatagramReorder drive the Channel
+	// injector on the exporter→collector UDP path: each transmitted
+	// datagram is independently dropped, duplicated, or held back one
+	// slot (swapped with its successor).
+	DatagramLoss    float64
+	DatagramDup     float64
+	DatagramReorder float64
+
+	// SolverOverrun is the per-interval probability that the plan solve
+	// blows its deadline and must be treated as failed.
+	SolverOverrun float64
+}
+
+// Plan is a compiled fault schedule. It is stateless and safe for
+// concurrent use; construct with NewPlan.
+type Plan struct {
+	cfg Config
+}
+
+// Fault domains keep the random streams of unrelated fault kinds
+// decorrelated even when they share (interval, entity) coordinates.
+const (
+	domCrash uint64 = iota + 1
+	domClamp
+	domSolver
+	domChannel
+)
+
+// NewPlan validates the configuration and returns a plan.
+func NewPlan(cfg Config) (*Plan, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"MonitorCrash", cfg.MonitorCrash},
+		{"RateClamp", cfg.RateClamp},
+		{"DatagramLoss", cfg.DatagramLoss},
+		{"DatagramDup", cfg.DatagramDup},
+		{"DatagramReorder", cfg.DatagramReorder},
+		{"SolverOverrun", cfg.SolverOverrun},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("faults: %s = %v, want a probability in [0, 1]", p.name, p.v)
+		}
+	}
+	if cfg.MaxOutage < 0 {
+		return nil, fmt.Errorf("faults: MaxOutage = %d, want >= 0", cfg.MaxOutage)
+	}
+	if cfg.ClampFactor < 0 || cfg.ClampFactor > 1 {
+		return nil, fmt.Errorf("faults: ClampFactor = %v, want in [0, 1]", cfg.ClampFactor)
+	}
+	if cfg.MaxOutage == 0 {
+		cfg.MaxOutage = 8
+	}
+	if cfg.MeanOutage < 1 {
+		cfg.MeanOutage = 1
+	}
+	if cfg.ClampFactor == 0 {
+		cfg.ClampFactor = 0.5
+	}
+	return &Plan{cfg: cfg}, nil
+}
+
+// MustPlan is NewPlan for known-good configurations; it panics on error.
+func MustPlan(cfg Config) *Plan {
+	p, err := NewPlan(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the validated configuration (defaults filled in).
+func (p *Plan) Config() Config { return p.cfg }
+
+// source derives the deterministic stream of one fault draw. Chaining
+// SplitSeed per coordinate keeps the function pure: any evaluation
+// order — or concurrent evaluation — sees the same stream.
+func (p *Plan) source(dom, a, b uint64) *rng.Source {
+	s := rng.SplitSeed(p.cfg.Seed, dom)
+	s = rng.SplitSeed(s, a)
+	return rng.New(rng.SplitSeed(s, b))
+}
+
+// outageLen draws the length (in intervals) of an outage starting now.
+func (p *Plan) outageLen(r *rng.Source) int {
+	d := 1
+	if p.cfg.MeanOutage > 1 {
+		// Exponential tail with the requested mean beyond the first
+		// interval; the +1 keeps every outage at least one interval.
+		d = 1 + int(r.Exponential(1/(p.cfg.MeanOutage-1)))
+	}
+	if d > p.cfg.MaxOutage {
+		d = p.cfg.MaxOutage
+	}
+	return d
+}
+
+// MonitorDown reports whether the monitor on link is inside an outage
+// at the given interval: some interval t0 in the MaxOutage-long window
+// ending at t started an outage that covers t. The answer is a pure
+// function of (seed, t, link).
+func (p *Plan) MonitorDown(t int, link topology.LinkID) bool {
+	if p.cfg.MonitorCrash <= 0 || t < 0 {
+		return false
+	}
+	lo := t - p.cfg.MaxOutage + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for t0 := lo; t0 <= t; t0++ {
+		r := p.source(domCrash, uint64(t0), uint64(link))
+		if !r.Bernoulli(p.cfg.MonitorCrash) {
+			continue
+		}
+		if t < t0+p.outageLen(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// DownSet returns the candidates that are inside an outage at interval
+// t, in input order.
+func (p *Plan) DownSet(t int, candidates []topology.LinkID) []topology.LinkID {
+	var down []topology.LinkID
+	for _, lid := range candidates {
+		if p.MonitorDown(t, lid) {
+			down = append(down, lid)
+		}
+	}
+	return down
+}
+
+// RateFactor returns the fraction of its assigned sampling rate the
+// monitor on link actually achieves at interval t: 1 normally,
+// ClampFactor when a rate-clamp fault fires.
+func (p *Plan) RateFactor(t int, link topology.LinkID) float64 {
+	if p.cfg.RateClamp <= 0 || t < 0 {
+		return 1
+	}
+	r := p.source(domClamp, uint64(t), uint64(link))
+	if r.Bernoulli(p.cfg.RateClamp) {
+		return p.cfg.ClampFactor
+	}
+	return 1
+}
+
+// SolverOverrun reports whether interval t's solve blows its deadline.
+func (p *Plan) SolverOverrun(t int) bool {
+	if p.cfg.SolverOverrun <= 0 || t < 0 {
+		return false
+	}
+	return p.source(domSolver, uint64(t), 0).Bernoulli(p.cfg.SolverOverrun)
+}

@@ -2,6 +2,7 @@ package netflow
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -27,6 +28,7 @@ type Estimator struct {
 
 	mu   sync.Mutex
 	bins map[uint32][]uint64 // bin start → per-OD sampled packets
+	loss float64             // transport record-loss fraction in [0, 1)
 }
 
 // NewEstimator builds an estimator for len(rho) OD pairs over
@@ -74,13 +76,44 @@ func (e *Estimator) AddBatch(b Batch) {
 	}
 }
 
+// SetTransportLoss informs the estimator of the transport-level record
+// loss fraction ℓ the collector observed via FlowSequence gaps (see
+// Collector.LossFraction). Estimates are renormalized by ρ·(1−ℓ) — the
+// true inclusion probability of a packet that must be sampled AND its
+// record delivered — and the per-estimate relative standard error is
+// inflated accordingly. Fractions outside [0, 1) are rejected.
+func (e *Estimator) SetTransportLoss(frac float64) error {
+	if !(frac >= 0 && frac < 1) {
+		return fmt.Errorf("netflow: transport loss fraction %v out of [0, 1)", frac)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.loss = frac
+	return nil
+}
+
+// LowConfidenceRelErr is the relative-standard-error threshold above
+// which an estimate is flagged low-confidence.
+const LowConfidenceRelErr = 0.5
+
 // BinEstimate holds the per-OD estimates of one measurement interval.
 type BinEstimate struct {
 	Start uint32
-	// Sampled[k] is the raw sampled packet count of OD pair k.
+	// Sampled[k] is the raw sampled packet count of OD pair k that
+	// reached the collector.
 	Sampled []uint64
-	// Estimate[k] is Sampled[k]/ρ_k, or 0 when ρ_k = 0 (unmonitored).
+	// Estimate[k] is Sampled[k]/(ρ_k·(1−ℓ)) for transport loss ℓ, or 0
+	// when ρ_k = 0 (unmonitored).
 	Estimate []float64
+	// RelStdErr[k] is the delta-method relative standard error of
+	// Estimate[k] under binomial thinning at rate ρ_k·(1−ℓ):
+	// sqrt((1−ρ_eff)/X). Transport loss shrinks ρ_eff and so inflates
+	// the reported uncertainty. It is +Inf when nothing was sampled.
+	RelStdErr []float64
+	// LowConfidence[k] flags estimates whose RelStdErr exceeds
+	// LowConfidenceRelErr — the consumer should not trust them without
+	// widening its own error bars.
+	LowConfidence []bool
 }
 
 // Estimates returns one BinEstimate per interval, ordered by start time.
@@ -96,14 +129,26 @@ func (e *Estimator) Estimates() []BinEstimate {
 	for _, s := range starts {
 		counts := e.bins[s]
 		be := BinEstimate{
-			Start:    s,
-			Sampled:  append([]uint64(nil), counts...),
-			Estimate: make([]float64, len(counts)),
+			Start:         s,
+			Sampled:       append([]uint64(nil), counts...),
+			Estimate:      make([]float64, len(counts)),
+			RelStdErr:     make([]float64, len(counts)),
+			LowConfidence: make([]bool, len(counts)),
 		}
 		for k, c := range counts {
-			if e.rho[k] > 0 {
-				be.Estimate[k] = float64(c) / e.rho[k]
+			effRho := e.rho[k] * (1 - e.loss)
+			if effRho <= 0 {
+				be.RelStdErr[k] = math.Inf(1)
+				be.LowConfidence[k] = true
+				continue
 			}
+			be.Estimate[k] = float64(c) / effRho
+			if c == 0 {
+				be.RelStdErr[k] = math.Inf(1)
+			} else {
+				be.RelStdErr[k] = math.Sqrt((1 - effRho) / float64(c))
+			}
+			be.LowConfidence[k] = be.RelStdErr[k] > LowConfidenceRelErr
 		}
 		out = append(out, be)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"netsamp/internal/packet"
 )
@@ -12,20 +13,44 @@ import (
 // 1400-byte MTU budget: 16 + 34*40 = 1376 bytes.
 const MaxRecordsPerDatagram = 34
 
+// RetryPolicy bounds the exporter's handling of transient write errors:
+// each datagram is attempted up to 1+MaxRetries times, sleeping Backoff,
+// 2·Backoff, 4·Backoff … between attempts. The zero value disables
+// retries (a failed write drops the datagram immediately).
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failed
+	// write (0 = no retries).
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent one. Zero means retry immediately.
+	Backoff time.Duration
+}
+
 // Exporter ships flow records to a collector over UDP, batching records
-// into datagrams and stamping each datagram with a sequence number so
-// the collector can account for loss (the NetFlow v5 idiom). It is safe
-// for concurrent use.
+// into datagrams and stamping each datagram with the NetFlow v5
+// FlowSequence convention — the cumulative number of records exported
+// before the datagram — so the collector can account for lost *records*,
+// not just lost datagrams (see internal/netflow/v5.go). It is safe for
+// concurrent use.
+//
+// Writes that fail are retried per the RetryPolicy; a datagram whose
+// retries are exhausted is dropped and counted in Dropped(). The
+// sequence still advances past dropped records, so the loss surfaces at
+// the collector as an ordinary FlowSequence gap — exporter-side and
+// network-side losses are accounted identically downstream.
 type Exporter struct {
 	exporterID uint32
+	retry      RetryPolicy
 
-	mu     sync.Mutex
-	conn   net.Conn
-	seq    uint32
-	batch  []packet.Record
-	buf    []byte
-	sent   uint64
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	seq     uint32 // records exported before the next datagram
+	batch   []packet.Record
+	buf     []byte
+	sent    uint64
+	dropped uint64
+	retries uint64
+	closed  bool
 }
 
 // NewExporter dials the collector at addr (e.g. "127.0.0.1:9995") and
@@ -35,11 +60,25 @@ func NewExporter(addr string, exporterID uint32) (*Exporter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netflow: dial collector: %w", err)
 	}
+	return NewExporterConn(conn, exporterID), nil
+}
+
+// NewExporterConn wraps an existing connection (any datagram-oriented
+// net.Conn, including fault-injecting wrappers) as an exporter.
+func NewExporterConn(conn net.Conn, exporterID uint32) *Exporter {
 	return &Exporter{
 		exporterID: exporterID,
 		conn:       conn,
 		buf:        make([]byte, 0, packet.HeaderSize+MaxRecordsPerDatagram*packet.RecordSize),
-	}, nil
+	}
+}
+
+// SetRetry installs the transient-write-error policy. Call before
+// exporting; it is not safe to change concurrently with Export.
+func (e *Exporter) SetRetry(p RetryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retry = p
 }
 
 // Export queues records and sends every full datagram. Call Flush to
@@ -51,13 +90,14 @@ func (e *Exporter) Export(recs []packet.Record) error {
 		return fmt.Errorf("netflow: exporter closed")
 	}
 	e.batch = append(e.batch, recs...)
+	var firstErr error
 	for len(e.batch) >= MaxRecordsPerDatagram {
-		if err := e.sendLocked(e.batch[:MaxRecordsPerDatagram]); err != nil {
-			return err
+		if err := e.sendLocked(e.batch[:MaxRecordsPerDatagram]); err != nil && firstErr == nil {
+			firstErr = err
 		}
 		e.batch = e.batch[MaxRecordsPerDatagram:]
 	}
-	return nil
+	return firstErr
 }
 
 // Flush sends any buffered partial datagram.
@@ -75,16 +115,37 @@ func (e *Exporter) Flush() error {
 	return err
 }
 
+// sendLocked encodes and writes one datagram, retrying transient write
+// errors per the policy. Whatever the outcome, the flow sequence
+// advances by the record count: a dropped datagram becomes a sequence
+// gap the collector will observe and account.
 func (e *Exporter) sendLocked(recs []packet.Record) error {
 	h := packet.Header{Count: uint8(len(recs)), Seq: e.seq, Exporter: e.exporterID}
 	e.buf = h.AppendTo(e.buf[:0])
 	for i := range recs {
 		e.buf = recs[i].AppendTo(e.buf)
 	}
-	if _, err := e.conn.Write(e.buf); err != nil {
+	var err error
+	backoff := e.retry.Backoff
+	for attempt := 0; ; attempt++ {
+		_, err = e.conn.Write(e.buf)
+		if err == nil {
+			break
+		}
+		if attempt >= e.retry.MaxRetries {
+			break
+		}
+		e.retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	e.seq += uint32(len(recs))
+	if err != nil {
+		e.dropped += uint64(len(recs))
 		return fmt.Errorf("netflow: export datagram: %w", err)
 	}
-	e.seq++
 	e.sent += uint64(len(recs))
 	return nil
 }
@@ -94,6 +155,22 @@ func (e *Exporter) Sent() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sent
+}
+
+// Dropped returns the number of records abandoned after exhausting the
+// retry policy. Dropped records surface at the collector as
+// FlowSequence gaps.
+func (e *Exporter) Dropped() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Retries returns how many re-attempts the retry policy has performed.
+func (e *Exporter) Retries() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.retries
 }
 
 // Close flushes buffered records and releases the socket.
@@ -122,25 +199,75 @@ type Batch struct {
 	Records  []packet.Record
 }
 
-// CollectorStats accounts the collector's intake.
+// CollectorStats accounts the collector's aggregate intake.
 type CollectorStats struct {
-	Datagrams     uint64
-	Records       uint64
-	Malformed     uint64
-	LostDatagrams uint64 // sequence gaps summed over exporters
+	Datagrams   uint64
+	Records     uint64
+	Malformed   uint64
+	LostRecords uint64 // flow-sequence gaps summed over exporters
+	Duplicates  uint64 // duplicate/reordered datagrams summed over exporters
+}
+
+// ExporterStats accounts one exporter's stream as seen by the
+// collector.
+type ExporterStats struct {
+	// Datagrams and Received count accepted datagrams and the flow
+	// records they carried.
+	Datagrams uint64
+	Received  uint64
+	// LostRecords counts records missing per the FlowSequence
+	// convention: each datagram carries the cumulative record count
+	// exported before it, so a jump past the expected next sequence is
+	// a loss of exactly that many records. A late (reordered) datagram
+	// that fills a previously observed gap is credited back.
+	LostRecords uint64
+	// Duplicates counts datagrams whose sequence range was already
+	// delivered (duplicated in flight, or retransmitted).
+	Duplicates uint64
+}
+
+// LossFraction returns LostRecords / (Received + LostRecords), the
+// record-loss estimate an estimator should inflate its variance with.
+func (s ExporterStats) LossFraction() float64 {
+	total := s.Received + s.LostRecords
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LostRecords) / float64(total)
+}
+
+// maxSeqHoles bounds the per-exporter memory of outstanding sequence
+// gaps kept for reorder reconciliation; older holes are forgotten (and
+// stay counted as lost).
+const maxSeqHoles = 64
+
+// seqHole is a missing [start, start+count) record range.
+type seqHole struct {
+	start uint32
+	count uint32
+}
+
+// exporterState is the collector's per-exporter sequence tracker.
+type exporterState struct {
+	next  uint32 // expected FlowSequence of the next datagram
+	seen  bool
+	holes []seqHole
+	stats ExporterStats
 }
 
 // Collector listens for export datagrams on UDP, decodes them and
-// delivers batches on a channel. Sequence gaps per exporter are counted
-// as lost datagrams. Close stops the read loop and closes the channel.
+// delivers batches on a channel. Flow-sequence gaps are accounted per
+// exporter as lost records; duplicated and reordered datagrams are
+// detected and counted. Close stops the read loop and closes the
+// channel.
 type Collector struct {
 	conn *net.UDPConn
 	ch   chan Batch
 
-	mu      sync.Mutex
-	stats   CollectorStats
-	lastSeq map[uint32]uint32
-	wg      sync.WaitGroup
+	mu    sync.Mutex
+	stats CollectorStats
+	exps  map[uint32]*exporterState
+	wg    sync.WaitGroup
 }
 
 // NewCollector binds a UDP listener on addr ("127.0.0.1:0" picks an
@@ -159,9 +286,9 @@ func NewCollector(addr string) (*Collector, error) {
 	// kernel may clamp it, and sequence gaps surface any residual loss.
 	_ = conn.SetReadBuffer(8 << 20)
 	c := &Collector{
-		conn:    conn,
-		ch:      make(chan Batch, 256),
-		lastSeq: make(map[uint32]uint32),
+		conn: conn,
+		ch:   make(chan Batch, 256),
+		exps: make(map[uint32]*exporterState),
 	}
 	c.wg.Add(1)
 	go c.readLoop()
@@ -174,11 +301,46 @@ func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
 // Batches returns the channel of decoded batches. It is closed by Close.
 func (c *Collector) Batches() <-chan Batch { return c.ch }
 
-// Stats returns a snapshot of the collector's counters.
+// Stats returns a snapshot of the collector's aggregate counters.
 func (c *Collector) Stats() CollectorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// ExporterStats returns the per-exporter accounting of one exporter ID
+// (ok = false if the collector has never heard from it).
+func (c *Collector) ExporterStats(id uint32) (ExporterStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	es, ok := c.exps[id]
+	if !ok {
+		return ExporterStats{}, false
+	}
+	return es.stats, true
+}
+
+// Exporters returns a snapshot of every known exporter's accounting.
+func (c *Collector) Exporters() map[uint32]ExporterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint32]ExporterStats, len(c.exps))
+	for id, es := range c.exps {
+		out[id] = es.stats
+	}
+	return out
+}
+
+// LossFraction returns the record-loss fraction aggregated over all
+// exporters: Σ lost / Σ (received + lost).
+func (c *Collector) LossFraction() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.stats.Records + c.stats.LostRecords
+	if total == 0 {
+		return 0
+	}
+	return float64(c.stats.LostRecords) / float64(total)
 }
 
 // Close shuts the listener down and waits for the read loop to drain.
@@ -227,11 +389,79 @@ func (c *Collector) decode(b []byte) (Batch, bool) {
 		}
 		off += packet.RecordSize
 	}
-	if last, seen := c.lastSeq[h.Exporter]; seen && h.Seq > last+1 {
-		c.stats.LostDatagrams += uint64(h.Seq - last - 1)
-	}
-	c.lastSeq[h.Exporter] = h.Seq
-	c.stats.Datagrams++
-	c.stats.Records += uint64(h.Count)
+	c.account(h)
 	return Batch{Exporter: h.Exporter, Seq: h.Seq, Records: recs}, true
+}
+
+// account updates the per-exporter flow-sequence bookkeeping for one
+// accepted datagram. All arithmetic is uint32, so sequence wraparound
+// is handled naturally: a difference below 2^31 is a forward jump (a
+// gap), at or above it a step backwards (a reordered or duplicated
+// datagram).
+func (c *Collector) account(h packet.Header) {
+	es := c.exps[h.Exporter]
+	if es == nil {
+		es = &exporterState{}
+		c.exps[h.Exporter] = es
+	}
+	count := uint32(h.Count)
+	if !es.seen {
+		es.seen = true
+		es.next = h.Seq + count
+	} else {
+		switch diff := h.Seq - es.next; {
+		case diff == 0: // in order
+			es.next = h.Seq + count
+		case diff < 1<<31: // forward jump: diff records missing
+			es.stats.LostRecords += uint64(diff)
+			c.stats.LostRecords += uint64(diff)
+			if len(es.holes) == maxSeqHoles {
+				es.holes = es.holes[1:]
+			}
+			es.holes = append(es.holes, seqHole{start: es.next, count: diff})
+			es.next = h.Seq + count
+		default: // behind: late arrival or duplicate
+			if i := es.findHole(h.Seq, count); i >= 0 {
+				// A reordered datagram filled a known gap: credit the
+				// loss back.
+				es.stats.LostRecords -= uint64(count)
+				c.stats.LostRecords -= uint64(count)
+				es.shrinkHole(i, h.Seq, count)
+			} else {
+				es.stats.Duplicates++
+				c.stats.Duplicates++
+			}
+		}
+	}
+	es.stats.Datagrams++
+	es.stats.Received += uint64(count)
+	c.stats.Datagrams++
+	c.stats.Records += uint64(count)
+}
+
+// findHole returns the index of the hole containing [seq, seq+count),
+// or -1.
+func (es *exporterState) findHole(seq, count uint32) int {
+	for i, hole := range es.holes {
+		off := seq - hole.start // uint32 wraparound-safe offset
+		if off < hole.count && off+count <= hole.count {
+			return i
+		}
+	}
+	return -1
+}
+
+// shrinkHole removes [seq, seq+count) from hole i, splitting it if the
+// filled range is interior.
+func (es *exporterState) shrinkHole(i int, seq, count uint32) {
+	hole := es.holes[i]
+	off := seq - hole.start
+	var repl []seqHole
+	if off > 0 {
+		repl = append(repl, seqHole{start: hole.start, count: off})
+	}
+	if rest := hole.count - off - count; rest > 0 {
+		repl = append(repl, seqHole{start: seq + count, count: rest})
+	}
+	es.holes = append(es.holes[:i], append(repl, es.holes[i+1:]...)...)
 }

@@ -26,7 +26,7 @@ func FuzzDecodeV5(f *testing.F) {
 
 // FuzzCollectorDecode: the collector's datagram decoder must be total.
 func FuzzCollectorDecode(f *testing.F) {
-	c := &Collector{lastSeq: map[uint32]uint32{}}
+	c := &Collector{exps: map[uint32]*exporterState{}}
 	f.Add([]byte{})
 	f.Add(make([]byte, 16))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -172,8 +172,12 @@ func TestExporterCollectorRoundTrip(t *testing.T) {
 		}
 	}
 	st := col.Stats()
-	if st.Records != 80 || st.Datagrams != 3 || st.Malformed != 0 || st.LostDatagrams != 0 {
+	if st.Records != 80 || st.Datagrams != 3 || st.Malformed != 0 || st.LostRecords != 0 {
 		t.Fatalf("collector stats = %+v", st)
+	}
+	es, ok := col.ExporterStats(42)
+	if !ok || es.Received != 80 || es.Datagrams != 3 || es.LostRecords != 0 || es.Duplicates != 0 {
+		t.Fatalf("exporter stats = %+v ok=%v", es, ok)
 	}
 	if err := exp.Close(); err != nil {
 		t.Fatal(err)
@@ -226,14 +230,23 @@ func TestCollectorCountsSequenceGaps(t *testing.T) {
 	}
 	send()
 	<-col.Batches()
-	// Simulate two lost datagrams by advancing the exporter's sequence.
+	// Simulate two lost records by advancing the exporter's flow
+	// sequence past them (the v5 convention: Seq counts records, so the
+	// collector sees a two-record gap).
 	exp.mu.Lock()
 	exp.seq += 2
 	exp.mu.Unlock()
 	send()
 	<-col.Batches()
-	if st := col.Stats(); st.LostDatagrams != 2 {
-		t.Fatalf("LostDatagrams = %d, want 2", st.LostDatagrams)
+	if st := col.Stats(); st.LostRecords != 2 {
+		t.Fatalf("LostRecords = %d, want 2", st.LostRecords)
+	}
+	es, ok := col.ExporterStats(9)
+	if !ok || es.LostRecords != 2 || es.Received != 2 || es.Datagrams != 2 {
+		t.Fatalf("exporter stats = %+v ok=%v", es, ok)
+	}
+	if lf := es.LossFraction(); lf != 0.5 {
+		t.Fatalf("LossFraction = %v, want 0.5", lf)
 	}
 }
 
