@@ -20,6 +20,8 @@ import (
 	"netsamp/internal/eval"
 	"netsamp/internal/geant"
 	"netsamp/internal/plan"
+	"netsamp/internal/rng"
+	"netsamp/internal/topology"
 )
 
 var (
@@ -247,6 +249,13 @@ func BenchmarkAblationBisectionLineSearch(b *testing.B) {
 	benchAblation(b, core.Options{DisableNewton: true})
 }
 
+// BenchmarkAblationNoSecondOrder disables the Newton-KKT step on the
+// free subspace (pure first-order projected search, the paper's method;
+// an order of magnitude more iterations near the optimum).
+func BenchmarkAblationNoSecondOrder(b *testing.B) {
+	benchAblation(b, core.Options{DisableSecondOrder: true})
+}
+
 // BenchmarkAblationExactRateModel solves with the exact effective-rate
 // model (1) instead of approximation (7).
 func BenchmarkAblationExactRateModel(b *testing.B) {
@@ -304,4 +313,201 @@ func BenchmarkTMStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Warm-start continuation -----------------------------------------
+//
+// The pairs below measure the same work through the one-shot path
+// (Build + Solve per instance, cold waterfilling start) and the
+// continuation path (Compile once, Retune + WarmStart per instance).
+// Both report the total solver iterations per op, which is where the
+// warm start earns its speedup.
+
+// figure2SolveSequence enumerates the Figure 2 instance family: both
+// candidate-set variants across the θ grid, each variant's grid ordered
+// top-down (the direction the continuation chains in Figure2Ctx run:
+// shrinking the budget rescales the previous optimum without disturbing
+// its active set). The cold benchmark solves the same set; its order is
+// irrelevant.
+func figure2SolveSequence(s *geant.Scenario) []plan.Input {
+	inv := s.UtilityParams(eval.Interval)
+	thetas := eval.DefaultThetas()
+	var seq []plan.Input
+	for _, cands := range [][]topology.LinkID{s.MonitorLinks, s.UKLinks} {
+		for i := len(thetas) - 1; i >= 0; i-- {
+			seq = append(seq, plan.Input{
+				Matrix:       s.Matrix,
+				Loads:        s.Loads,
+				Candidates:   cands,
+				InvMeanSizes: inv,
+				Budget:       core.BudgetPerInterval(thetas[i], eval.Interval),
+			})
+		}
+	}
+	return seq
+}
+
+// BenchmarkFigure2ColdSolves solves the Figure 2 θ-sweep the pre-
+// continuation way: every grid point rebuilds its problem and starts
+// the solver from the cold waterfilling point.
+func BenchmarkFigure2ColdSolves(b *testing.B) {
+	seq := figure2SolveSequence(benchScenario(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		for _, in := range seq {
+			prob, _, err := plan.Build(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sol, err := core.Solve(prob, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += sol.Stats.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solver-iters/op")
+}
+
+// BenchmarkFigure2WarmStart solves the same sweep as continuation
+// chains: one compiled workspace per candidate-set variant, budget
+// re-tuned between grid points, every solve warm-started from the
+// previous θ's optimum.
+func BenchmarkFigure2WarmStart(b *testing.B) {
+	s := benchScenario(b)
+	seq := figure2SolveSequence(s)
+	nThetas := len(eval.DefaultThetas())
+	b.ReportAllocs()
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		var (
+			comp *plan.Compiled
+			sol  core.Solution
+			warm []float64
+		)
+		for j, in := range seq {
+			var err error
+			if j%nThetas == 0 { // new candidate-set variant: new chain
+				if comp, err = plan.Compile(in); err != nil {
+					b.Fatal(err)
+				}
+			} else if err = comp.Retune(in); err != nil {
+				b.Fatal(err)
+			}
+			opt := core.Options{}
+			if j%nThetas != 0 {
+				if warm, err = comp.Solver().WarmStart(&sol, warm); err != nil {
+					b.Fatal(err)
+				}
+				opt.Initial = warm
+			}
+			if err := comp.Solver().SolveInto(&sol, opt); err != nil {
+				b.Fatal(err)
+			}
+			iters += sol.Stats.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solver-iters/op")
+}
+
+// dynamicLoadSchedule jitters the scenario loads over `n` successive
+// intervals (±10%, deterministic), the per-interval re-optimization
+// input of the dynamic study and the controller.
+func dynamicLoadSchedule(s *geant.Scenario, n int) [][]float64 {
+	r := rng.New(97)
+	out := make([][]float64, n)
+	for t := range out {
+		loads := make([]float64, len(s.Loads))
+		for i, u := range s.Loads {
+			loads[i] = u * (0.9 + 0.2*r.Float64())
+		}
+		out[t] = loads
+	}
+	return out
+}
+
+const benchIntervals = 8
+
+// BenchmarkDynamicIntervalCold re-optimizes 8 successive intervals the
+// pre-continuation way: rebuild and cold-solve each interval.
+func BenchmarkDynamicIntervalCold(b *testing.B) {
+	s := benchScenario(b)
+	schedule := dynamicLoadSchedule(s, benchIntervals)
+	inv := s.UtilityParams(eval.Interval)
+	budget := core.BudgetPerInterval(100000, eval.Interval)
+	b.ReportAllocs()
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		for _, loads := range schedule {
+			prob, _, err := plan.Build(plan.Input{
+				Matrix:       s.Matrix,
+				Loads:        loads,
+				Candidates:   s.MonitorLinks,
+				InvMeanSizes: inv,
+				Budget:       budget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sol, err := core.Solve(prob, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += sol.Stats.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solver-iters/op")
+}
+
+// BenchmarkDynamicIntervalWarm re-optimizes the same 8 intervals as one
+// continuation chain: the compiled workspace re-tunes to each interval's
+// loads and warm-starts from the previous interval's plan.
+func BenchmarkDynamicIntervalWarm(b *testing.B) {
+	s := benchScenario(b)
+	schedule := dynamicLoadSchedule(s, benchIntervals)
+	inv := s.UtilityParams(eval.Interval)
+	budget := core.BudgetPerInterval(100000, eval.Interval)
+	b.ReportAllocs()
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		var (
+			comp *plan.Compiled
+			sol  core.Solution
+			warm []float64
+		)
+		for t, loads := range schedule {
+			in := plan.Input{
+				Matrix:       s.Matrix,
+				Loads:        loads,
+				Candidates:   s.MonitorLinks,
+				InvMeanSizes: inv,
+				Budget:       budget,
+			}
+			var err error
+			if comp == nil {
+				if comp, err = plan.Compile(in); err != nil {
+					b.Fatal(err)
+				}
+			} else if err = comp.Retune(in); err != nil {
+				b.Fatal(err)
+			}
+			opt := core.Options{}
+			if t > 0 {
+				if warm, err = comp.Solver().WarmStart(&sol, warm); err != nil {
+					b.Fatal(err)
+				}
+				opt.Initial = warm
+			}
+			if err := comp.Solver().SolveInto(&sol, opt); err != nil {
+				b.Fatal(err)
+			}
+			iters += sol.Stats.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solver-iters/op")
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line: the benchmark name (with the
+// -N GOMAXPROCS suffix stripped), the measured iteration count, and every
+// reported metric — ns/op, B/op, allocs/op, plus custom b.ReportMetric
+// series such as solver-iters/op.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the BENCH_results.json schema.
+type BenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Pattern    string        `json:"pattern"`
+	Benchtime  string        `json:"benchtime"`
+	Count      int           `json:"count"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// cmdBench runs the module's tier-1 benchmark suite under `go test
+// -bench -benchmem` and emits the parsed results as JSON, so CI can
+// archive them and regression tooling can diff runs without re-parsing
+// the textual benchmark format.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	pattern := fs.String("pattern", ".", "benchmark name pattern (go test -bench)")
+	benchtime := fs.String("benchtime", "1s", "per-benchmark measuring time or iteration count (e.g. 1s, 100x)")
+	count := fs.Int("count", 1, "repetitions per benchmark")
+	out := fs.String("o", "BENCH_results.json", "output file (- for stdout)")
+	pkg := fs.String("pkg", "", "package to benchmark (default: the module root)")
+	fs.Parse(args)
+	if *count < 1 {
+		return fmt.Errorf("bench: -count %d, want >= 1", *count)
+	}
+
+	dir := *pkg
+	if dir == "" {
+		root, err := moduleRoot()
+		if err != nil {
+			return err
+		}
+		dir = root
+	}
+
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+*pattern, "-benchmem",
+		"-benchtime="+*benchtime, "-count="+strconv.Itoa(*count), ".")
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("bench: go test: %w\n%s", err, raw)
+	}
+	fmt.Fprint(os.Stderr, string(raw))
+
+	report := BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Pattern:   *pattern,
+		Benchtime: *benchtime,
+		Count:     *count,
+	}
+	report.Benchmarks, err = parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("bench: no benchmark matched pattern %q", *pattern)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
+	return nil
+}
+
+// parseBenchOutput extracts the benchmark lines from go test output. A
+// line reads: name, iteration count, then (value, unit) pairs.
+func parseBenchOutput(out string) ([]BenchResult, error) {
+	var results []BenchResult
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		r := BenchResult{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: malformed line %q: %v", line, err)
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod,
+// so `netsamp bench` works from anywhere inside the checkout.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bench: no go.mod above the working directory (use -pkg)")
+		}
+		dir = parent
+	}
+}

@@ -14,8 +14,14 @@
 //	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
 //	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
 //	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
+//	netsamp bench    [-pattern RE] [-benchtime T] [-count N] [-o FILE]
 //	netsamp topo
 //	netsamp all
+//
+// Global flags, given before the command, profile whatever the command
+// runs:
+//
+//	netsamp -cpuprofile cpu.out -memprofile mem.out figure2 -workers 8
 //
 // Every experiment is deterministic for a given seed, and the studies
 // that accept -workers produce bit-identical output for every worker
@@ -29,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"netsamp/internal/core"
 	"netsamp/internal/eval"
@@ -38,11 +46,65 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main with an exit code, so the profile-writing defers execute
+// before the process exits.
+func run(argv []string) int {
+	global := flag.NewFlagSet("netsamp", flag.ContinueOnError)
+	global.SetOutput(os.Stderr)
+	global.Usage = usage
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile of the command to `file`")
+	memprofile := global.String("memprofile", "", "write a heap profile taken after the command to `file`")
+	// Parse stops at the first non-flag argument, so global flags come
+	// before the command and per-command flags after it.
+	if err := global.Parse(argv); err != nil {
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if global.NArg() < 1 {
+		usage()
+		return 2
+	}
+	cmd, args := global.Arg(0), global.Args()[1:]
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsamp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netsamp: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netsamp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "netsamp: -memprofile: %v\n", err)
+			}
+		}()
+	}
+	if err := dispatch(cmd, args); err != nil {
+		fmt.Fprintf(os.Stderr, "netsamp %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+func dispatch(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "figure1":
@@ -71,6 +133,8 @@ func main() {
 		err = cmdReport(args)
 	case "export-spec":
 		err = cmdExportSpec(args)
+	case "bench":
+		err = cmdBench(args)
 	case "topo":
 		err = cmdTopo(args)
 	case "all":
@@ -82,10 +146,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "netsamp %s: %v\n", cmd, err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
@@ -105,8 +166,11 @@ commands:
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
   export-spec  dump a built-in scenario as an editable .netsamp file
+  bench        run the benchmark suite and emit BENCH_results.json
   topo         emit the synthetic GEANT topology in DOT format
-  all          run every experiment in sequence`)
+  all          run every experiment in sequence
+
+global flags (before the command): -cpuprofile FILE, -memprofile FILE`)
 }
 
 func scenarioFlags(fs *flag.FlagSet) *uint64 {

@@ -75,11 +75,11 @@ func AccessLinkCapacityForRate(loads []float64, link topology.LinkID, targetRho 
 // Restricted runs the full optimizer over a restricted candidate set and
 // labels the result. The paper's instance restricts to the six UK links.
 func Restricted(name string, in plan.Input, opt core.Options) (*Assignment, *core.Solution, error) {
-	prob, _, err := plan.Build(in)
+	comp, err := plan.Compile(in)
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, err := core.Solve(prob, opt)
+	sol, err := comp.Solver().Solve(opt)
 	if err != nil {
 		return nil, nil, err
 	}

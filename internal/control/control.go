@@ -100,6 +100,10 @@ type Controller struct {
 	// configuration even if the previous interval's optimum skipped it.
 	lastGood  map[topology.LinkID]float64
 	probation map[topology.LinkID]int // healthy intervals still owed before readmission
+	// cache holds the compiled (problem, solver) pairs across intervals:
+	// as long as routing and the monitor sets are stable, each interval's
+	// solves re-tune a compiled workspace instead of rebuilding it.
+	cache *plan.Cache
 }
 
 // New returns a controller. Budget must be positive.
@@ -122,7 +126,7 @@ func New(opts Options) (*Controller, error) {
 	if opts.SmoothAlpha == 0 {
 		opts.SmoothAlpha = 1
 	}
-	return &Controller{opts: opts, probation: make(map[topology.LinkID]int)}, nil
+	return &Controller{opts: opts, probation: make(map[topology.LinkID]int), cache: plan.NewCache()}, nil
 }
 
 // ActiveSet returns the currently active monitor links (sorted copy).
@@ -299,7 +303,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		if len(m.Pairs) == 0 {
 			return nil, fmt.Errorf("control: no pair measurable on %d eligible links", len(cands))
 		}
-		prob, _, err := plan.Build(plan.Input{
+		comp, err := c.cache.Get(plan.Input{
 			Matrix:       m,
 			Loads:        smoothed,
 			Candidates:   cands,
@@ -309,7 +313,22 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		if err != nil {
 			return nil, err
 		}
-		return core.Solve(prob, c.opts.Solve)
+		// Warm-start from the last known-good rates: intervals are small
+		// perturbations of each other, so the previous plan projected back
+		// into today's feasible set is steps from the new optimum. lastGood
+		// is only written after the interval's solves complete, so the
+		// concurrent full/retained jobs read it safely.
+		opt := c.opts.Solve
+		if opt.Initial == nil && len(c.lastGood) > 0 {
+			prev := make([]float64, len(cands))
+			for j, lid := range cands {
+				prev[j] = c.lastGood[lid]
+			}
+			if warm, werr := core.WarmStartRates(prev, comp.Problem(), nil); werr == nil {
+				opt.Initial = warm
+			}
+		}
+		return comp.Solver().Solve(opt)
 	}
 
 	// Retained-set plan: re-tune rates on the intersection of the old
@@ -321,6 +340,11 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 	if c.active != nil && c.opts.SwitchGain != 0 {
 		retained = intersect(c.active, eligible)
 	}
+	// When the retained set IS the eligible set, both jobs would solve
+	// the same problem — and, now that solves share cached workspaces,
+	// would race on one compiled solver. Skip the duplicate job and alias
+	// its result below.
+	retainedIsFull := len(retained) > 0 && equalSets(retained, eligible)
 
 	var full, retainedSol *core.Solution
 	jobs := []engine.Job{
@@ -342,7 +366,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 			return err
 		},
 	}
-	if len(retained) > 0 {
+	if len(retained) > 0 && !retainedIsFull {
 		jobs = append(jobs, func(context.Context, *rng.Source) error {
 			retainedSol, _ = solveOn(retained)
 			return nil
@@ -360,6 +384,9 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		}
 		d.Uncovered = uncovered
 		return d, nil
+	}
+	if retainedIsFull {
+		retainedSol = full
 	}
 	fullRates := plan.RatesByLink(full, eligible)
 	fullSet := sortedKeys(fullRates)

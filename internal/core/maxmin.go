@@ -64,7 +64,7 @@ func SolveMaxMin(p *Problem, opt MaxMinOptions) (*Solution, error) {
 // SolveMaxMinContext is SolveMaxMin with cancellation between reweighting
 // rounds. All rounds share one compiled Solver workspace — the weights
 // are re-tuned through Solver.SetWeights, so the caller's Problem is
-// never copied or mutated and the per-round solves reuse every buffer.
+// never mutated and the per-round solves reuse every buffer.
 func SolveMaxMinContext(ctx context.Context, p *Problem, opt MaxMinOptions) (*Solution, error) {
 	s, err := NewSolver(p)
 	if err != nil {

@@ -29,6 +29,14 @@ type Options struct {
 	// DisableNewton replaces the Newton one-dimensional search with pure
 	// bisection on φ' (ablation switch; slower, same fixed point).
 	DisableNewton bool
+	// DisableSecondOrder turns off the Newton-KKT step on the free
+	// subspace and falls back to the first-order projected search
+	// everywhere (ablation switch; the paper's method, many more
+	// iterations near the optimum). The second-order step is what makes
+	// warm-started continuation solves converge in a handful of
+	// iterations: a warm start supplies the optimal active set, and on a
+	// fixed active set the Newton iteration is quadratically convergent.
+	DisableSecondOrder bool
 	// Initial optionally supplies a feasible starting point. When nil a
 	// waterfilling point on the budget hyperplane is used.
 	Initial []float64

@@ -17,12 +17,22 @@ import (
 // (internal/engine gives each job its own). The Problem's structure
 // (pair count, link rows, fractions, Exact flag) must not change after
 // NewSolver; numeric re-tuning between solves is supported through
-// SetWeights. The one-shot core.Solve remains as a thin wrapper for
-// callers that solve a shape only once.
+// SetWeights, SetBudget, SetLoads and SetUtilities. The Solver owns a
+// private copy of the Problem's numeric fields, so re-tuning never
+// mutates the caller's Problem, and re-validation is limited to the
+// field that changed. The one-shot core.Solve remains as a thin wrapper
+// for callers that solve a shape only once.
 type Solver struct {
+	// prob is the Solver's private copy of the compiled problem: Loads
+	// and the Pair headers are cloned so SetBudget/SetLoads/SetUtilities
+	// can re-tune in place without touching the caller's Problem.
+	prob   Problem
 	p      *Problem
 	n      int // candidate links
 	nPairs int
+	// maxSampled caches Σ α_i·U_i under the current loads — the budget
+	// feasibility bound SetBudget re-checks without a full Validate.
+	maxSampled float64
 
 	// CSR incidence: pair k's links are links[start[k]:start[k+1]], and
 	// fracs (nil when no pair has ECMP fractions) is indexed in parallel.
@@ -35,6 +45,12 @@ type Solver struct {
 	// Scratch buffers of the gradient-projection iteration.
 	rates, g, d, sdir, prevD []float64
 	lower, upper             []bool
+
+	// Scratch of the Newton-KKT step: the bordered system over the free
+	// coordinates (at most (n+1)×(n+1)) and the link → free-position map.
+	kkt     []float64
+	kktRHS  []float64
+	freePos []int32
 }
 
 // NewSolver validates p and compiles it into a reusable workspace.
@@ -44,19 +60,32 @@ func NewSolver(p *Problem) (*Solver, error) {
 	}
 	n := p.NumLinks()
 	s := &Solver{
-		p:      p,
+		prob: Problem{
+			Loads:   append([]float64(nil), p.Loads...),
+			MaxRate: p.MaxRate,
+			Budget:  p.Budget,
+			Pairs:   append([]Pair(nil), p.Pairs...),
+			Exact:   p.Exact,
+		},
 		n:      n,
 		nPairs: len(p.Pairs),
 		start:  make([]int32, len(p.Pairs)+1),
 		utils:  make([]Utility, len(p.Pairs)),
 		wts:    make([]float64, len(p.Pairs)),
-		rates:  make([]float64, n),
-		g:      make([]float64, n),
-		d:      make([]float64, n),
-		sdir:   make([]float64, n),
-		prevD:  make([]float64, n),
-		lower:  make([]bool, n),
-		upper:  make([]bool, n),
+		rates:   make([]float64, n),
+		g:       make([]float64, n),
+		d:       make([]float64, n),
+		sdir:    make([]float64, n),
+		prevD:   make([]float64, n),
+		lower:   make([]bool, n),
+		upper:   make([]bool, n),
+		kkt:     make([]float64, (n+1)*(n+1)),
+		kktRHS:  make([]float64, n+1),
+		freePos: make([]int32, n),
+	}
+	s.p = &s.prob
+	for i, u := range s.prob.Loads {
+		s.maxSampled += s.prob.alpha(i) * u
 	}
 	nnz := 0
 	hasFracs := false
@@ -89,8 +118,67 @@ func NewSolver(p *Problem) (*Solver, error) {
 	return s, nil
 }
 
-// Problem returns the compiled problem.
+// Problem returns the compiled problem: the Solver's private copy,
+// reflecting any SetBudget/SetLoads/SetUtilities re-tuning. Callers must
+// treat it as read-only; re-tune through the Set* methods.
 func (s *Solver) Problem() *Problem { return s.p }
+
+// SetBudget replaces the budget θ without recompiling, so a sweep or a
+// per-interval loop can re-tune a compiled solver in place. Validation
+// is limited to what changed: positivity and feasibility against the
+// cached maximum samplable rate Σ α_i·U_i.
+func (s *Solver) SetBudget(theta float64) error {
+	if !(theta > 0) {
+		return fmt.Errorf("core: budget %v, want > 0", theta)
+	}
+	if theta > s.maxSampled*(1+1e-12) {
+		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v (infeasible)", theta, s.maxSampled)
+	}
+	s.prob.Budget = theta
+	return nil
+}
+
+// SetLoads replaces the per-link loads without recompiling (successive
+// measurement intervals re-optimize under drifting traffic). Validation
+// is limited to what changed: positive finite loads and the budget
+// staying within the new maximum samplable rate.
+func (s *Solver) SetLoads(loads []float64) error {
+	if len(loads) != s.n {
+		return fmt.Errorf("core: %d loads for %d links", len(loads), s.n)
+	}
+	max := 0.0
+	for i, u := range loads {
+		if !(u > 0) || math.IsInf(u, 0) || math.IsNaN(u) {
+			return fmt.Errorf("core: load of link %d is %v, want > 0", i, u)
+		}
+		max += s.prob.alpha(i) * u
+	}
+	if s.prob.Budget > max*(1+1e-12) {
+		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v under new loads (infeasible)", s.prob.Budget, max)
+	}
+	copy(s.prob.Loads, loads)
+	s.maxSampled = max
+	return nil
+}
+
+// SetUtilities replaces the per-pair utilities without recompiling (a
+// cached solver can be re-parameterized when the OD size estimates
+// drift between intervals). The incidence structure is untouched.
+func (s *Solver) SetUtilities(us []Utility) error {
+	if len(us) != s.nPairs {
+		return fmt.Errorf("core: %d utilities for %d pairs", len(us), s.nPairs)
+	}
+	for k, u := range us {
+		if u == nil {
+			return fmt.Errorf("core: utility %d is nil", k)
+		}
+	}
+	copy(s.utils, us)
+	for k := range us {
+		s.prob.Pairs[k].Utility = us[k]
+	}
+	return nil
+}
 
 // SetWeights replaces the per-pair objective weights without recompiling
 // (the max-min solver re-tunes weights every round). Entries <= 0 mean
@@ -221,30 +309,40 @@ func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 			}
 		}
 
-		// Polak-Ribière blend of the previous direction (Section IV-D).
-		copy(sdir, d)
-		if !opt.DisablePolakRibiere && havePrev {
-			num, den := 0.0, 0.0
-			for i := 0; i < n; i++ {
-				num += d[i] * (d[i] - prevD[i])
-				den += prevD[i] * prevD[i]
-			}
-			if den > 0 {
-				beta := num / den
-				if beta > 0 {
-					for i := 0; i < n; i++ {
-						sdir[i] = d[i] + beta*prevD[i]
-					}
-					// The blended direction must remain an ascent
-					// direction; otherwise restart from the projection.
-					if dot(sdir, g) <= 0 {
-						copy(sdir, d)
+		// Second-order step: on the current active set, solve the
+		// equality-constrained Newton system for the free coordinates.
+		// Quadratically convergent once the active set is right — which a
+		// warm start supplies immediately — and safeguarded by the same
+		// bound clamping and line search as the first-order direction.
+		newton := !opt.DisableSecondOrder && s.newtonInto(sdir, rates, g, lower, upper)
+		if newton {
+			havePrev = false // don't blend a gradient with a Newton step
+		} else {
+			// Polak-Ribière blend of the previous direction (Section IV-D).
+			copy(sdir, d)
+			if !opt.DisablePolakRibiere && havePrev {
+				num, den := 0.0, 0.0
+				for i := 0; i < n; i++ {
+					num += d[i] * (d[i] - prevD[i])
+					den += prevD[i] * prevD[i]
+				}
+				if den > 0 {
+					beta := num / den
+					if beta > 0 {
+						for i := 0; i < n; i++ {
+							sdir[i] = d[i] + beta*prevD[i]
+						}
+						// The blended direction must remain an ascent
+						// direction; otherwise restart from the projection.
+						if dot(sdir, g) <= 0 {
+							copy(sdir, d)
+						}
 					}
 				}
 			}
+			copy(prevD, d)
+			havePrev = true
 		}
-		copy(prevD, d)
-		havePrev = true
 
 		tMax, blocking := maxStep(p, rates, sdir, lower, upper)
 		if tMax <= 0 {
@@ -261,7 +359,7 @@ func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 			return nil
 		}
 
-		t, hitMax := s.lineSearch(rates, sdir, tMax, opt)
+		t, hitMax := s.lineSearch(rates, sdir, tMax, opt, newton)
 		for i := 0; i < n; i++ {
 			if !lower[i] && !upper[i] {
 				rates[i] += t * sdir[i]
@@ -278,6 +376,147 @@ func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 	s.gradient(rates, g)
 	s.finishInto(sol, rates, g, stats, false)
 	return nil
+}
+
+// newtonInto attempts the equality-constrained Newton step at rates:
+// solve
+//
+//	[H   U_f] [Δ]   [−g_f]
+//	[U_fᵀ  0] [ν] = [  0 ]
+//
+// over the free coordinates, where H is the objective Hessian
+// Σ_k w_k·M_k″(ρ_k)·ā_k ā_kᵀ (linear rate model) and U_f the loads —
+// the budget-hyperplane tangency condition. On success the step is
+// written into out (zero on pinned coordinates) and newtonInto reports
+// true; the caller still clamps it to the box and line-searches along
+// it, so a poor step degrades to a short move, never an infeasible one.
+// Falls out (returning false) for the exact rate model, a singular
+// system, or a numerically non-ascent direction.
+func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
+	if s.p.Exact {
+		// The exact model's Hessian has off-diagonal coupling terms from
+		// ∂²ρ/∂p_i∂p_j; not worth the complexity for the ablation model.
+		return false
+	}
+	p := s.p
+	nf := 0
+	for i := 0; i < s.n; i++ {
+		if lower[i] || upper[i] {
+			s.freePos[i] = -1
+		} else {
+			s.freePos[i] = int32(nf)
+			nf++
+		}
+	}
+	if nf == 0 {
+		return false
+	}
+	m := nf + 1
+	K := s.kkt[:m*m]
+	for i := range K {
+		K[i] = 0
+	}
+	for k := 0; k < s.nPairs; k++ {
+		c := s.wts[k] * s.utils[k].Curv(s.rho(k, rates))
+		if c == 0 {
+			continue
+		}
+		lo, hi := s.start[k], s.start[k+1]
+		for a := lo; a < hi; a++ {
+			ia := s.freePos[s.links[a]]
+			if ia < 0 {
+				continue
+			}
+			fa := 1.0
+			if s.fracs != nil {
+				fa = s.fracs[a]
+			}
+			row := int(ia) * m
+			for b := lo; b < hi; b++ {
+				ib := s.freePos[s.links[b]]
+				if ib < 0 {
+					continue
+				}
+				fb := 1.0
+				if s.fracs != nil {
+					fb = s.fracs[b]
+				}
+				K[row+int(ib)] += c * fa * fb
+			}
+		}
+	}
+	rhs := s.kktRHS[:m]
+	for i := 0; i < s.n; i++ {
+		if j := s.freePos[i]; j >= 0 {
+			K[int(j)*m+nf] = p.Loads[i]
+			K[nf*m+int(j)] = p.Loads[i]
+			rhs[j] = -g[i]
+		}
+	}
+	rhs[nf] = 0
+	if !solveDenseInPlace(K, rhs, m) {
+		return false
+	}
+	// Read the step back; require a (numerically) strict ascent
+	// direction — guaranteed in exact arithmetic when H is negative
+	// definite on the hyperplane's tangent space, so a failure here means
+	// the system was near-singular and the step is garbage.
+	asc := 0.0
+	for i := 0; i < s.n; i++ {
+		if j := s.freePos[i]; j >= 0 {
+			v := rhs[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+			out[i] = v
+			asc += v * g[i]
+		} else {
+			out[i] = 0
+		}
+	}
+	return asc > 0
+}
+
+// solveDenseInPlace solves the m×m row-major system a·x = b by Gaussian
+// elimination with partial pivoting, overwriting a and b (b becomes x).
+// Reports false on an (effectively) singular pivot.
+func solveDenseInPlace(a, b []float64, m int) bool {
+	for c := 0; c < m; c++ {
+		pr, pmax := c, math.Abs(a[c*m+c])
+		for r := c + 1; r < m; r++ {
+			if v := math.Abs(a[r*m+c]); v > pmax {
+				pr, pmax = r, v
+			}
+		}
+		if pmax == 0 {
+			return false
+		}
+		if pr != c {
+			for k := c; k < m; k++ {
+				a[pr*m+k], a[c*m+k] = a[c*m+k], a[pr*m+k]
+			}
+			b[pr], b[c] = b[c], b[pr]
+		}
+		inv := 1 / a[c*m+c]
+		for r := c + 1; r < m; r++ {
+			f := a[r*m+c] * inv
+			if f == 0 {
+				continue
+			}
+			for k := c + 1; k < m; k++ {
+				a[r*m+k] -= f * a[c*m+k]
+			}
+			b[r] -= f * b[c]
+		}
+	}
+	for r := m - 1; r >= 0; r-- {
+		v := b[r]
+		for k := r + 1; k < m; k++ {
+			v -= a[r*m+k] * b[k]
+		}
+		b[r] = v / a[r*m+r]
+	}
+	return true
 }
 
 // rho returns the effective sampling rate of pair k at rates, from the
@@ -387,13 +626,19 @@ func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
 // See the package solver notes: φ is concave along dir under the linear
 // rate model, so φ' is decreasing; safeguarded Newton with a bisection
 // fallback keeps the bracket valid even under the exact rate model.
-func (s *Solver) lineSearch(rates, dir []float64, tMax float64, opt Options) (t float64, hitMax bool) {
+// newtonDir marks dir as a Newton-KKT step, whose natural length is 1 —
+// starting there instead of the bracket midpoint saves most of the
+// search when the quadratic model is accurate.
+func (s *Solver) lineSearch(rates, dir []float64, tMax float64, opt Options, newtonDir bool) (t float64, hitMax bool) {
 	d1End, _ := s.lineDerivs(rates, dir, tMax)
 	if d1End >= 0 {
 		return tMax, true
 	}
 	lo, hi := 0.0, tMax
 	t = tMax / 2
+	if newtonDir && tMax > 1 {
+		t = 1
+	}
 	for iter := 0; iter < 100; iter++ {
 		d1, d2 := s.lineDerivs(rates, dir, t)
 		if d1 > 0 {

@@ -72,6 +72,12 @@ func DetectionStudyCtx(ctx context.Context, s *geant.Scenario, theta float64, ev
 	for k := range prob.Pairs {
 		prob.Pairs[k].Utility = util
 	}
+	// Compile once; the solver clones the problem, so the concurrent
+	// max-min job below can keep reading prob untouched.
+	solver, err := core.NewSolver(prob)
+	if err != nil {
+		return nil, err
+	}
 	var (
 		sol, mm *core.Solution
 		uni     *baseline.Assignment
@@ -79,7 +85,7 @@ func DetectionStudyCtx(ctx context.Context, s *geant.Scenario, theta float64, ev
 	err = engine.Run(ctx, engine.Options{Workers: workers},
 		func(_ context.Context, _ *rng.Source) error {
 			var err error
-			sol, err = core.Solve(prob, core.Options{})
+			sol, err = solver.Solve(core.Options{})
 			return err
 		},
 		func(_ context.Context, _ *rng.Source) error {

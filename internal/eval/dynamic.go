@@ -82,6 +82,12 @@ func DynamicStudy(s *geant.Scenario, intervals int, theta float64, seed uint64) 
 	return DynamicStudyCtx(context.Background(), s, intervals, theta, seed, 0)
 }
 
+// dynamicChunkSize is the continuation chunk of the per-interval
+// re-optimization: each chunk of consecutive intervals is one warm-start
+// chain. Fixed (never derived from the worker count) so the chains, and
+// therefore the results, are identical for every worker count.
+const dynamicChunkSize = 8
+
 // dynamicInterval is one interval's world state, assembled sequentially
 // (graph mutation and the shared jitter stream force ordering), then
 // re-optimized in parallel.
@@ -123,24 +129,39 @@ func DynamicStudyCtx(ctx context.Context, s *geant.Scenario, intervals int, thet
 		s.Graph.SetDown(chfr, false)
 	}()
 
-	// Phase 1 (sequential): play out the dynamics.
+	// Phase 1 (sequential): play out the dynamics. Routing is a pure
+	// function of the topology state, which changes only at the failure
+	// boundary — so the table, matrix and candidate set are recomputed
+	// only when the boundary is crossed and shared (same pointers) by
+	// every interval of a topology regime. The shared matrix identity is
+	// what lets phase 2's plan.Cache reuse one compiled solver across a
+	// regime's intervals.
 	worlds := make([]dynamicInterval, intervals)
+	var (
+		tbl        *routing.Table
+		matrix     *routing.Matrix
+		candidates []topology.LinkID
+	)
 	for t := 0; t < intervals; t++ {
 		failed := t >= failAt
 		anomaly := t == anomalyAt
-		s.Graph.SetDown(frch, failed)
-		s.Graph.SetDown(chfr, failed)
 
-		// Current routing and candidate set.
-		tbl := routing.ComputeTable(s.Graph)
-		matrix, err := routing.BuildMatrix(tbl, s.Pairs)
-		if err != nil {
-			return nil, fmt.Errorf("eval: interval %d: %w", t, err)
-		}
-		var candidates []topology.LinkID
-		for _, lid := range matrix.LinkSet() {
-			if !s.Graph.Link(lid).Access {
-				candidates = append(candidates, lid)
+		// Current routing and candidate set: rebuilt on topology change
+		// only (interval 0 and the failure boundary).
+		if matrix == nil || failed != worlds[t-1].failed {
+			s.Graph.SetDown(frch, failed)
+			s.Graph.SetDown(chfr, failed)
+			tbl = routing.ComputeTable(s.Graph)
+			var err error
+			matrix, err = routing.BuildMatrix(tbl, s.Pairs)
+			if err != nil {
+				return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+			}
+			candidates = nil
+			for _, lid := range matrix.LinkSet() {
+				if !s.Graph.Link(lid).Access {
+					candidates = append(candidates, lid)
+				}
 			}
 		}
 
@@ -184,22 +205,54 @@ func DynamicStudyCtx(ctx context.Context, s *geant.Scenario, intervals int, thet
 	}
 
 	// Phase 2 (parallel): the dynamic operator re-optimizes every
-	// interval. Each interval is an independent engine job.
-	plans, err := engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, intervals,
-		func(_ context.Context, t int, _ *rng.Source) (map[topology.LinkID]float64, error) {
-			w := &worlds[t]
-			prob, _, err := plan.Build(plan.Input{
-				Matrix: w.matrix, Loads: w.loads, Candidates: w.candidates,
-				InvMeanSizes: w.inv, Budget: budget,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+	// interval. The intervals are grouped into fixed-size continuation
+	// chunks — a fixed function of the interval grid, never of the
+	// worker count — and each chunk is one engine job owning a private
+	// plan.Cache. Within a chunk, successive intervals of one topology
+	// regime reuse the compiled solver (only loads and utility
+	// parameters change) and warm-start from the previous interval's
+	// optimum; the failure boundary changes the matrix identity, so the
+	// chain restarts cold there, exactly when the problem structure
+	// genuinely changed.
+	plans := make([]map[topology.LinkID]float64, intervals)
+	nChunks := (intervals + dynamicChunkSize - 1) / dynamicChunkSize
+	_, err := engine.Map(ctx, engine.Options{Workers: workers}, nChunks,
+		func(_ context.Context, chunk int, _ *rng.Source) (struct{}, error) {
+			lo := chunk * dynamicChunkSize
+			hi := lo + dynamicChunkSize
+			if hi > intervals {
+				hi = intervals
 			}
-			sol, err := core.Solve(prob, core.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("eval: interval %d: %w", t, err)
+			cache := plan.NewCache()
+			var (
+				prev     *core.Solution
+				prevComp *plan.Compiled
+				warm     []float64
+			)
+			for t := lo; t < hi; t++ {
+				w := &worlds[t]
+				comp, err := cache.Get(plan.Input{
+					Matrix: w.matrix, Loads: w.loads, Candidates: w.candidates,
+					InvMeanSizes: w.inv, Budget: budget,
+				})
+				if err != nil {
+					return struct{}{}, fmt.Errorf("eval: interval %d: %w", t, err)
+				}
+				opt := core.Options{}
+				if prev != nil && comp == prevComp {
+					if warm, err = comp.Solver().WarmStart(prev, warm); err != nil {
+						return struct{}{}, fmt.Errorf("eval: interval %d: %w", t, err)
+					}
+					opt.Initial = warm
+				}
+				sol, err := comp.Solver().Solve(opt)
+				if err != nil {
+					return struct{}{}, fmt.Errorf("eval: interval %d: %w", t, err)
+				}
+				plans[t] = plan.RatesByLink(sol, w.candidates)
+				prev, prevComp = sol, comp
 			}
-			return plan.RatesByLink(sol, w.candidates), nil
+			return struct{}{}, nil
 		})
 	if err != nil {
 		return nil, err

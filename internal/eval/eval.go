@@ -184,34 +184,97 @@ func Figure2(s *geant.Scenario, thetas []float64, trials int, seed uint64) ([]Fi
 	return Figure2Ctx(context.Background(), s, thetas, trials, seed, 0)
 }
 
+// figure2ChunkSize is the continuation chunk of the Figure 2 sweep:
+// each (candidate set, chunk of the θ grid) pair is one continuation
+// chain. The chunking is a fixed function of the grid — never of the
+// worker count — so the chains, and therefore the results, are
+// bit-identical for every worker count.
+const figure2ChunkSize = 4
+
 // Figure2Ctx is Figure2 with cancellation and an explicit worker count
-// (0 selects GOMAXPROCS). Each θ is one engine job with its own
-// split-seeded random stream, so the result is bit-identical for every
-// worker count.
+// (0 selects GOMAXPROCS). It runs in two phases. The optimization phase
+// sweeps θ in continuation chains: each candidate-set variant compiles
+// its problem once (plan.Compile), re-tunes only the budget between
+// grid points, and warm-starts every solve from the previous θ's
+// optimum (core.WarmStart) — the solver family's standard trick for
+// related instances. The simulation phase then runs the sampling
+// experiments with one engine job per θ, each with its own split-seeded
+// random stream, so the result is bit-identical for every worker count
+// (the chains are chunked by the fixed figure2ChunkSize, and the solves
+// consume no randomness at all).
 func Figure2Ctx(ctx context.Context, s *geant.Scenario, thetas []float64, trials int, seed uint64, workers int) ([]Figure2Point, error) {
 	inv := s.UtilityParams(Interval)
 	sizes := s.PairSizes(Interval)
-	return engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, len(thetas),
-		func(_ context.Context, i int, r *rng.Source) (Figure2Point, error) {
-			theta := thetas[i]
-			budget := core.BudgetPerInterval(theta, Interval)
-			point := Figure2Point{Theta: theta}
-			for variant, candidates := range [][]topology.LinkID{s.MonitorLinks, s.UKLinks} {
-				prob, _, err := plan.Build(plan.Input{
+	variants := [][]topology.LinkID{s.MonitorLinks, s.UKLinks}
+
+	// Phase 1: continuation chains over the θ grid, one job per
+	// (variant, chunk). Jobs write disjoint slots of sols.
+	nChunks := (len(thetas) + figure2ChunkSize - 1) / figure2ChunkSize
+	sols := make([][2]*core.Solution, len(thetas))
+	_, err := engine.Map(ctx, engine.Options{Workers: workers}, len(variants)*nChunks,
+		func(_ context.Context, job int, _ *rng.Source) (struct{}, error) {
+			variant, chunk := job/nChunks, job%nChunks
+			lo := chunk * figure2ChunkSize
+			hi := lo + figure2ChunkSize
+			if hi > len(thetas) {
+				hi = len(thetas)
+			}
+			var (
+				comp *plan.Compiled
+				prev *core.Solution
+				warm []float64
+			)
+			// The chain runs its chunk top-down: projecting an optimum onto
+			// a SMALLER budget is a pure rescale that keeps the active
+			// monitor set intact, so descending continuation converges in
+			// one or two Newton steps per grid point, where ascending
+			// continuation has to waterfill and re-discover activations.
+			for i := hi - 1; i >= lo; i-- {
+				theta := thetas[i]
+				in := plan.Input{
 					Matrix:       s.Matrix,
 					Loads:        s.Loads,
-					Candidates:   candidates,
+					Candidates:   variants[variant],
 					InvMeanSizes: inv,
-					Budget:       budget,
-				})
-				if err != nil {
-					return point, fmt.Errorf("eval: θ=%v: %w", theta, err)
+					Budget:       core.BudgetPerInterval(theta, Interval),
 				}
-				sol, err := core.Solve(prob, core.Options{})
-				if err != nil {
-					return point, fmt.Errorf("eval: θ=%v: %w", theta, err)
+				var err error
+				if comp == nil {
+					comp, err = plan.Compile(in)
+				} else {
+					err = comp.Retune(in)
 				}
-				var results []sampling.Result
+				if err != nil {
+					return struct{}{}, fmt.Errorf("eval: θ=%v: %w", theta, err)
+				}
+				opt := core.Options{}
+				if prev != nil {
+					if warm, err = comp.Solver().WarmStart(prev, warm); err != nil {
+						return struct{}{}, fmt.Errorf("eval: θ=%v: %w", theta, err)
+					}
+					opt.Initial = warm
+				}
+				sol, err := comp.Solver().Solve(opt)
+				if err != nil {
+					return struct{}{}, fmt.Errorf("eval: θ=%v: %w", theta, err)
+				}
+				sols[i][variant] = sol
+				prev = sol
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: sampling experiments, one job per θ with the same
+	// split-seeded stream layout the sweep has always used.
+	return engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, len(thetas),
+		func(_ context.Context, i int, r *rng.Source) (Figure2Point, error) {
+			point := Figure2Point{Theta: thetas[i]}
+			for variant := range variants {
+				sol := sols[i][variant]
+				results := make([]sampling.Result, 0, len(s.Pairs))
 				for k := range s.Pairs {
 					exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], sol.Rho[k], trials, r.Split())
 					if err != nil {
@@ -263,42 +326,71 @@ func ConvergenceStudyWithOptions(s *geant.Scenario, runs int, seed uint64, opt c
 	return ConvergenceStudyCtx(context.Background(), s, runs, seed, opt, 0)
 }
 
+// convergenceChunkSize is the number of randomized runs each worker job
+// solves on one shared compiled plan. Like figure2ChunkSize it is a
+// fixed function of the run grid, never of the worker count.
+const convergenceChunkSize = 16
+
 // ConvergenceStudyCtx runs the randomized instances on the engine's
-// worker pool (one job per instance, each with its own split-seeded
-// jitter stream) and aggregates the per-run statistics in run order, so
-// the result is bit-identical for every worker count. workers = 0
+// worker pool and aggregates the per-run statistics in run order. The
+// runs are grouped into fixed-size chunks; each chunk compiles the
+// problem structure once (the matrix and candidate set never change —
+// only loads, utility parameters and θ are jittered) and re-tunes it
+// per run through the plan.Compiled path. Every run still draws its
+// jitter from its own split-seeded stream (rng.SplitSeed(seed, run))
+// and starts cold from the waterfilling point, so the per-run solver
+// statistics — the study's whole output — are bit-identical to solving
+// each instance from scratch, for every worker count. workers = 0
 // selects GOMAXPROCS.
 func ConvergenceStudyCtx(ctx context.Context, s *geant.Scenario, runs int, seed uint64, opt core.Options, workers int) (*ConvergenceResult, error) {
 	if runs <= 0 {
 		runs = 200
 	}
 	inv := s.UtilityParams(Interval)
-	stats, err := engine.Map(ctx, engine.Options{Workers: workers, Seed: seed}, runs,
-		func(_ context.Context, _ int, r *rng.Source) (core.Stats, error) {
+	nChunks := (runs + convergenceChunkSize - 1) / convergenceChunkSize
+	stats := make([]core.Stats, runs)
+	_, err := engine.Map(ctx, engine.Options{Workers: workers}, nChunks,
+		func(_ context.Context, chunk int, _ *rng.Source) (struct{}, error) {
+			lo := chunk * convergenceChunkSize
+			hi := lo + convergenceChunkSize
+			if hi > runs {
+				hi = runs
+			}
+			var comp *plan.Compiled
 			loads := make([]float64, len(s.Loads))
-			for i, u := range s.Loads {
-				loads[i] = u * r.LogNormal(0, 0.4)
-			}
 			invRun := make([]float64, len(inv))
-			for k, c := range inv {
-				invRun[k] = math.Min(1, c*r.LogNormal(0, 0.3))
+			for run := lo; run < hi; run++ {
+				r := rng.New(rng.SplitSeed(seed, uint64(run)))
+				for i, u := range s.Loads {
+					loads[i] = u * r.LogNormal(0, 0.4)
+				}
+				for k, c := range inv {
+					invRun[k] = math.Min(1, c*r.LogNormal(0, 0.3))
+				}
+				theta := 20000 + r.Float64()*480000 // packets per interval
+				in := plan.Input{
+					Matrix:       s.Matrix,
+					Loads:        loads,
+					Candidates:   s.MonitorLinks,
+					InvMeanSizes: invRun,
+					Budget:       core.BudgetPerInterval(theta, Interval),
+				}
+				var err error
+				if comp == nil {
+					comp, err = plan.Compile(in)
+				} else {
+					err = comp.Retune(in)
+				}
+				if err != nil {
+					return struct{}{}, err
+				}
+				sol, err := comp.Solver().Solve(opt)
+				if err != nil {
+					return struct{}{}, err
+				}
+				stats[run] = sol.Stats
 			}
-			theta := 20000 + r.Float64()*480000 // packets per interval
-			prob, _, err := plan.Build(plan.Input{
-				Matrix:       s.Matrix,
-				Loads:        loads,
-				Candidates:   s.MonitorLinks,
-				InvMeanSizes: invRun,
-				Budget:       core.BudgetPerInterval(theta, Interval),
-			})
-			if err != nil {
-				return core.Stats{}, err
-			}
-			sol, err := core.Solve(prob, opt)
-			if err != nil {
-				return core.Stats{}, err
-			}
-			return sol.Stats, nil
+			return struct{}{}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -431,7 +523,7 @@ func Figure2ExtendedCtx(ctx context.Context, s *geant.Scenario, thetas []float64
 				return out, fmt.Errorf("eval: θ=%v: %w", theta, err)
 			}
 			simulate := func(rho []float64) (sampling.Summary, error) {
-				var results []sampling.Result
+				results := make([]sampling.Result, 0, len(s.Pairs))
 				for k := range s.Pairs {
 					exp, err := sampling.Experiment(s.Pairs[k].Name, sizes[k], rho[k], trials, r.Split())
 					if err != nil {

@@ -156,6 +156,37 @@ var EffectiveRates = plan.EffectiveRates
 // SampledRate returns Σ p_i·U_i of a per-link assignment.
 var SampledRate = plan.SampledRate
 
+// Continuation surface: solver workspaces reused across families of
+// related instances (θ-sweeps, successive measurement intervals).
+type (
+	// Solver is a reusable compiled workspace for one problem structure;
+	// SetBudget/SetLoads re-tune it between solves without revalidation
+	// of the unchanged fields.
+	Solver = core.Solver
+	// CompiledPlan couples a built Problem with its compiled Solver and
+	// the link bookkeeping, re-tunable via Retune.
+	CompiledPlan = plan.Compiled
+	// PlanCache memoizes CompiledPlan values by problem identity
+	// (routing matrix, candidate set, rate model).
+	PlanCache = plan.Cache
+)
+
+// NewSolver compiles a Problem into a reusable solver workspace.
+var NewSolver = core.NewSolver
+
+// WarmStart projects a previous optimum onto a new problem's feasible
+// set, producing an Options.Initial that preserves the active set.
+var WarmStart = core.WarmStart
+
+// WarmStartRates is WarmStart for a bare rate vector.
+var WarmStartRates = core.WarmStartRates
+
+// CompilePlan builds and compiles a PlanInput into a CompiledPlan.
+var CompilePlan = plan.Compile
+
+// NewPlanCache returns an empty compiled-plan cache.
+var NewPlanCache = plan.NewCache
+
 // Scenario surface: the paper's GEANT evaluation setting.
 type (
 	// GEANTScenario is the synthetic GEANT-2004 evaluation scenario.
