@@ -13,6 +13,7 @@
 //	netsamp tm       [-theta N] [-trials N] [-workers N]
 //	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
 //	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
+//	netsamp serve    -dir DIR [-theta N] [-seed N] [-intervals N] [-checkpoint N] [-workers N]
 //	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
 //	netsamp bench    [-pattern RE] [-benchtime T] [-count N] [-o FILE]
 //	netsamp topo
@@ -127,6 +128,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdDynamic(args)
 	case "degrade":
 		err = cmdDegrade(args)
+	case "serve":
+		err = cmdServe(args)
 	case "optimize":
 		err = cmdOptimize(args)
 	case "report":
@@ -163,6 +166,7 @@ commands:
   tm           traffic-matrix estimation: SNMP counters vs optimized sampling
   dynamic      static vs re-optimized plans under traffic/routing dynamics
   degrade      accuracy under monitor crashes and export loss, naive vs graceful
+  serve        supervised control-loop daemon with crash-safe checkpointing
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
   export-spec  dump a built-in scenario as an editable .netsamp file

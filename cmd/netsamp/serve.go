@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netsamp/internal/daemon"
+	"netsamp/internal/faults"
+)
+
+// cmdServe runs the monitoring control loop as a supervised, crash-safe
+// daemon: per-interval re-optimization under an injected fault plan,
+// write-ahead journaling of every decision, periodic checkpointing, and
+// graceful drain on SIGINT/SIGTERM. A restarted daemon resumes from the
+// newest valid checkpoint and reproduces the decision sequence of an
+// uninterrupted run bit-exactly.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "persistence directory for checkpoints and the decision journal (required)")
+	theta := fs.Float64("theta", 100000, "budget θ in packets per 5-minute interval")
+	seed := fs.Uint64("seed", 7, "master seed of traffic synthesis and fault draws")
+	intervals := fs.Int("intervals", 0, "intervals to run before exiting (0 = run until a signal)")
+	checkpoint := fs.Int("checkpoint", 8, "checkpoint cadence in intervals")
+	workers := workersFlag(fs)
+	alpha := fs.Float64("alpha", 0.5, "EWMA load-smoothing weight in (0, 1]")
+	gain := fs.Float64("switchgain", 0.01, "hysteresis: minimum relative gain to change the monitor set")
+	revive := fs.Int("revive", 2, "healthy intervals a recovered monitor owes before readmission")
+	solveTimeout := fs.Duration("solve-timeout", 0, "per-interval solver wall-clock bound (0 = none)")
+	crash := fs.Float64("crash", 0, "per-interval monitor crash probability")
+	clamp := fs.Float64("clamp", 0, "per-interval per-link rate-clamp probability")
+	overrun := fs.Float64("overrun", 0, "per-interval solver overrun probability")
+	maxFailures := fs.Int("max-failures", 5, "consecutive crashes (without a checkpoint in between) before giving up")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial restart backoff (doubles per failure)")
+	maxBackoff := fs.Duration("max-backoff", 30*time.Second, "restart backoff ceiling")
+	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("serve needs -dir <persistence directory>")
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	cfg := daemon.Config{
+		Dir:             *dir,
+		Seed:            *seed,
+		Theta:           *theta,
+		Intervals:       *intervals,
+		CheckpointEvery: *checkpoint,
+		Workers:         *workers,
+		SmoothAlpha:     *alpha,
+		SwitchGain:      *gain,
+		ReviveAfter:     *revive,
+		SolveTimeout:    *solveTimeout,
+		Faults: faults.Config{
+			MonitorCrash:  *crash,
+			RateClamp:     *clamp,
+			SolverOverrun: *overrun,
+		},
+		Logf: logf,
+	}
+	sup := &daemon.Supervisor{
+		MaxFailures: *maxFailures,
+		Backoff:     *backoff,
+		MaxBackoff:  *maxBackoff,
+		Logf:        logf,
+	}
+
+	// SIGINT/SIGTERM cancel the context; the loop finishes the in-flight
+	// interval, writes a final checkpoint, and Serve returns nil — so a
+	// signalled shutdown exits 0 with a resumable state on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return daemon.Serve(ctx, cfg, sup)
+}

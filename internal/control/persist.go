@@ -1,0 +1,187 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netsamp/internal/plan"
+	"netsamp/internal/state"
+	"netsamp/internal/topology"
+)
+
+// State is the controller's restorable cross-interval memory: the active
+// monitor set, the EWMA load filter, the step/fallback counters, the
+// last-known-good per-monitor rates the fallback path serves, and the
+// probation clocks of recovering monitors. The compiled plan cache is
+// deliberately NOT part of the state — re-tuning a freshly compiled
+// solver is bitwise identical to re-tuning a cached one, so rebuilding
+// it cold after a restore cannot perturb the decision sequence.
+type State struct {
+	// Active is the current monitor set; nil means no set has been
+	// adopted yet (the nil/empty distinction drives first-interval
+	// adoption and is preserved across a snapshot).
+	Active []topology.LinkID
+	// EWMALoads is the load filter state; nil means uninitialized.
+	EWMALoads []float64
+	Steps     int
+	Fallbacks int
+	LastGood  map[topology.LinkID]float64
+	Probation map[topology.LinkID]int
+}
+
+// controllerStateVersion stamps the State binary encoding.
+const controllerStateVersion = 1
+
+// Snapshot captures the controller's cross-interval state (deep copies;
+// later steps do not mutate the snapshot).
+func (c *Controller) Snapshot() State {
+	st := State{
+		Steps:     c.steps,
+		Fallbacks: c.fallbacks,
+	}
+	if c.active != nil {
+		st.Active = append([]topology.LinkID{}, c.active...)
+	}
+	if c.ewmaLoads != nil {
+		st.EWMALoads = append([]float64{}, c.ewmaLoads...)
+	}
+	if c.lastGood != nil {
+		st.LastGood = copyRates(c.lastGood)
+	}
+	if len(c.probation) > 0 {
+		st.Probation = make(map[topology.LinkID]int, len(c.probation))
+		for lid, n := range c.probation {
+			st.Probation[lid] = n
+		}
+	}
+	return st
+}
+
+// Restore replaces the controller's cross-interval state with st (deep
+// copies) after validating it. The plan cache restarts cold; warm starts
+// derive from the restored LastGood rates exactly as they would have in
+// an uninterrupted run.
+func (c *Controller) Restore(st State) error {
+	if st.Steps < 0 || st.Fallbacks < 0 || st.Fallbacks > st.Steps {
+		return fmt.Errorf("control: restore: %d fallbacks over %d steps", st.Fallbacks, st.Steps)
+	}
+	for lid, p := range st.LastGood {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+			return fmt.Errorf("control: restore: last-good rate of link %d is %v, want [0, 1]", lid, p)
+		}
+	}
+	for lid, n := range st.Probation {
+		if n < 0 {
+			return fmt.Errorf("control: restore: probation of link %d is %d, want >= 0", lid, n)
+		}
+	}
+	for _, u := range st.EWMALoads {
+		if math.IsNaN(u) || math.IsInf(u, 0) || u < 0 {
+			return fmt.Errorf("control: restore: EWMA load %v, want finite >= 0", u)
+		}
+	}
+	c.steps = st.Steps
+	c.fallbacks = st.Fallbacks
+	c.active = nil
+	if st.Active != nil {
+		c.active = append([]topology.LinkID{}, st.Active...)
+		sort.Slice(c.active, func(i, j int) bool { return c.active[i] < c.active[j] })
+	}
+	c.ewmaLoads = nil
+	if st.EWMALoads != nil {
+		c.ewmaLoads = append([]float64{}, st.EWMALoads...)
+	}
+	c.lastGood = nil
+	if st.LastGood != nil {
+		c.lastGood = copyRates(st.LastGood)
+	}
+	c.probation = make(map[topology.LinkID]int, len(st.Probation))
+	for lid, n := range st.Probation {
+		c.probation[lid] = n
+	}
+	c.cache = plan.NewCache()
+	return nil
+}
+
+// MarshalBinary encodes the state deterministically: link sets sorted,
+// maps serialized in ascending LinkID order, floats as IEEE-754 bits.
+func (s State) MarshalBinary() ([]byte, error) {
+	var e state.Encoder
+	e.U16(controllerStateVersion)
+	e.Bool(s.Active != nil)
+	if s.Active != nil {
+		sorted := append([]topology.LinkID{}, s.Active...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		e.U32(uint32(len(sorted)))
+		for _, lid := range sorted {
+			e.I64(int64(lid))
+		}
+	}
+	e.Bool(s.EWMALoads != nil)
+	if s.EWMALoads != nil {
+		e.U32(uint32(len(s.EWMALoads)))
+		for _, u := range s.EWMALoads {
+			e.F64(u)
+		}
+	}
+	e.I64(int64(s.Steps))
+	e.I64(int64(s.Fallbacks))
+	e.U32(uint32(len(s.LastGood)))
+	for _, lid := range sortedKeys(s.LastGood) {
+		e.I64(int64(lid))
+		e.F64(s.LastGood[lid])
+	}
+	probKeys := make([]topology.LinkID, 0, len(s.Probation))
+	for lid := range s.Probation {
+		probKeys = append(probKeys, lid)
+	}
+	sort.Slice(probKeys, func(i, j int) bool { return probKeys[i] < probKeys[j] })
+	e.U32(uint32(len(probKeys)))
+	for _, lid := range probKeys {
+		e.I64(int64(lid))
+		e.I64(int64(s.Probation[lid]))
+	}
+	return e.Data(), nil
+}
+
+// UnmarshalBinary decodes a state produced by MarshalBinary, rejecting
+// unknown versions and malformed payloads.
+func (s *State) UnmarshalBinary(b []byte) error {
+	d := state.NewDecoder(b)
+	if v := d.U16(); d.Err() == nil && v != controllerStateVersion {
+		return fmt.Errorf("control: unknown state version %d", v)
+	}
+	*s = State{}
+	if d.Bool() {
+		n := d.Len(8)
+		s.Active = make([]topology.LinkID, 0, n)
+		for i := 0; i < n; i++ {
+			s.Active = append(s.Active, topology.LinkID(d.I64()))
+		}
+	}
+	if d.Bool() {
+		n := d.Len(8)
+		s.EWMALoads = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			s.EWMALoads = append(s.EWMALoads, d.F64())
+		}
+	}
+	s.Steps = int(d.I64())
+	s.Fallbacks = int(d.I64())
+	if n := d.Len(16); n > 0 {
+		s.LastGood = make(map[topology.LinkID]float64, n)
+		for i := 0; i < n; i++ {
+			lid := topology.LinkID(d.I64())
+			s.LastGood[lid] = d.F64()
+		}
+	}
+	if n := d.Len(16); n > 0 {
+		s.Probation = make(map[topology.LinkID]int, n)
+		for i := 0; i < n; i++ {
+			lid := topology.LinkID(d.I64())
+			s.Probation[lid] = int(d.I64())
+		}
+	}
+	return d.Finish()
+}

@@ -1,0 +1,270 @@
+package control
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"netsamp/internal/core"
+	"netsamp/internal/topology"
+)
+
+// sameDecision compares two decisions bitwise (plans, flags, counters).
+func sameDecision(a, b *Decision) bool {
+	if a.SetChanged != b.SetChanged || a.Degraded != b.Degraded ||
+		a.Uncovered != b.Uncovered || a.Gain != b.Gain {
+		return false
+	}
+	if len(a.Plan) != len(b.Plan) || len(a.Excluded) != len(b.Excluded) {
+		return false
+	}
+	for lid, p := range a.Plan {
+		if q, ok := b.Plan[lid]; !ok || p != q {
+			return false
+		}
+	}
+	for i := range a.Excluded {
+		if a.Excluded[i] != b.Excluded[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreContinuation: a controller snapshotted mid-run,
+// serialized, and restored into a fresh controller continues with
+// decisions bit-identical to the uninterrupted original.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	s, inv := setup(t)
+	opts := Options{Budget: core.BudgetPerInterval(100000, 300), SmoothAlpha: 0.5, SwitchGain: 0.01}
+	orig, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := append([]float64(nil), s.Loads...)
+	step := func(c *Controller, ld []float64) *Decision {
+		d, err := c.StepResilient(context.Background(), StepInput{
+			Matrix: s.Matrix, Loads: ld, Candidates: s.MonitorLinks, InvSizes: inv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Drift loads each interval so the EWMA filter state matters.
+	for i := 0; i < 3; i++ {
+		step(orig, loads)
+		for j := range loads {
+			loads[j] *= 1.03
+		}
+	}
+
+	blob, err := orig.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, _ := orig.Snapshot().MarshalBinary()
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("state encoding is not deterministic")
+	}
+	var st State
+	if err := st.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps() != orig.Steps() || restored.Fallbacks() != orig.Fallbacks() {
+		t.Fatalf("counters: %d/%d vs %d/%d", restored.Steps(), restored.Fallbacks(), orig.Steps(), orig.Fallbacks())
+	}
+
+	// Continue both controllers on identical inputs: bit-identical plans.
+	for i := 0; i < 3; i++ {
+		da := step(orig, loads)
+		db := step(restored, loads)
+		if !sameDecision(da, db) {
+			t.Fatalf("interval %d diverged after restore:\n%+v\n%+v", i, da, db)
+		}
+		for j := range loads {
+			loads[j] *= 0.97
+		}
+	}
+}
+
+// TestRestoreMidProbation is the restore-then-StepResilient coverage: a
+// controller restored from snapshot with a monitor mid-probation must
+// honor the remaining ReviveAfter intervals, and a post-restore solver
+// failure must be served from the restored lastGood rates.
+func TestRestoreMidProbation(t *testing.T) {
+	s, inv := setup(t)
+	opts := Options{Budget: core.BudgetPerInterval(100000, 300), ReviveAfter: 3}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+	d0, err := c.StepResilient(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A victim whose loss keeps every pair covered, so probation is not
+	// overridden by the coverage rule.
+	cand := make(map[topology.LinkID]bool, len(s.MonitorLinks))
+	for _, lid := range s.MonitorLinks {
+		cand[lid] = true
+	}
+	redundant := func(victim topology.LinkID) bool {
+		for _, row := range s.Matrix.Rows {
+			onPath, covered := false, false
+			for _, lid := range row {
+				if lid == victim {
+					onPath = true
+				} else if cand[lid] {
+					covered = true
+				}
+			}
+			if onPath && !covered {
+				return false
+			}
+		}
+		return true
+	}
+	var victim topology.LinkID = -1
+	for lid := range d0.Plan {
+		if redundant(lid) {
+			victim = lid
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no redundant monitor in this scenario")
+	}
+	in := base
+	in.Down = []topology.LinkID{victim}
+	if _, err := c.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	// One healthy interval served: 2 of the 3 probation intervals remain.
+	if _, err := c.StepResilient(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := c.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := st.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if st.Probation[victim] != 2 {
+		t.Fatalf("snapshot probation = %d, want 2 remaining", st.Probation[victim])
+	}
+	restored, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	excludedHas := func(d *Decision) bool {
+		for _, lid := range d.Excluded {
+			if lid == victim {
+				return true
+			}
+		}
+		return false
+	}
+	// The restored controller owes exactly 2 more healthy intervals.
+	for i := 0; i < 2; i++ {
+		d, err := restored.StepResilient(context.Background(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !excludedHas(d) {
+			t.Fatalf("restored controller readmitted the monitor %d intervals early", 2-i)
+		}
+	}
+	d, err := restored.StepResilient(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excludedHas(d) {
+		t.Fatal("monitor still excluded after serving restored probation")
+	}
+
+	// A solver failure on the restored controller falls back to the
+	// restored lastGood rates.
+	fail := base
+	fail.FailSolve = true
+	fd, err := restored.StepResilient(context.Background(), fail)
+	if err != nil {
+		t.Fatalf("restored lastGood did not serve the fallback: %v", err)
+	}
+	if !fd.Degraded {
+		t.Fatal("forced failure not degraded")
+	}
+	for lid, p := range fd.Plan {
+		if prev, ok := d.Plan[lid]; ok && p != prev && math.Abs(p-prev)/prev > 1e-9 {
+			t.Fatalf("fallback rate of link %d is %v, previous good %v", lid, p, prev)
+		}
+	}
+}
+
+func TestStateUnmarshalRejectsGarbage(t *testing.T) {
+	st := State{
+		Active:    []topology.LinkID{1, 5},
+		EWMALoads: []float64{10, 20, 30},
+		Steps:     4,
+		Fallbacks: 1,
+		LastGood:  map[topology.LinkID]float64{1: 0.2, 5: 0.01},
+		Probation: map[topology.LinkID]int{9: 2},
+	}
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps != 4 || back.Fallbacks != 1 || len(back.LastGood) != 2 ||
+		back.Probation[9] != 2 || len(back.Active) != 2 || len(back.EWMALoads) != 3 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if err := back.UnmarshalBinary(blob[:len(blob)-2]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if err := back.UnmarshalBinary(append(blob, 7)); err == nil {
+		t.Fatal("oversized state accepted")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 0xee
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+
+	// Restore validation.
+	c, err := New(Options{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(State{Steps: -1}); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if err := c.Restore(State{LastGood: map[topology.LinkID]float64{1: math.NaN()}}); err == nil {
+		t.Fatal("NaN last-good rate accepted")
+	}
+	if err := c.Restore(State{Probation: map[topology.LinkID]int{1: -2}}); err == nil {
+		t.Fatal("negative probation accepted")
+	}
+	if err := c.Restore(State{EWMALoads: []float64{math.Inf(1)}}); err == nil {
+		t.Fatal("Inf EWMA load accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidInput is the sentinel every numeric-input rejection wraps:
+// NaN/Inf or out-of-range loads, α caps, budgets and utility parameters,
+// at compile time (NewSolver/Validate) and at re-tune time
+// (SetBudget/SetLoads/SetUtilities, WarmStart). Callers branch with
+// errors.Is(err, ErrInvalidInput) — the control loop treats these as
+// permanent configuration faults rather than transient solve failures.
+var ErrInvalidInput = errors.New("core: invalid input")
+
+// InputError is the typed rejection of a single numeric input. It wraps
+// ErrInvalidInput for errors.Is.
+type InputError struct {
+	// Field names the rejected input: "load", "max rate", "budget",
+	// "utility", "fraction", "weight".
+	Field string
+	// Index is the link or pair index the value belongs to, -1 when the
+	// input is scalar (e.g. the budget).
+	Index int
+	// Value is the offending value.
+	Value float64
+	// Reason states the constraint that failed.
+	Reason string
+}
+
+func (e *InputError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("core: %s %d is %v, %s", e.Field, e.Index, e.Value, e.Reason)
+	}
+	return fmt.Sprintf("core: %s is %v, %s", e.Field, e.Value, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrInvalidInput) match every InputError.
+func (e *InputError) Is(target error) bool { return target == ErrInvalidInput }
+
+// invalidInput builds an InputError. index < 0 means a scalar input.
+func invalidInput(field string, index int, value float64, reason string) error {
+	return &InputError{Field: field, Index: index, Value: value, Reason: reason}
+}

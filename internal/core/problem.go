@@ -88,20 +88,22 @@ func (p *Problem) Validate() error {
 	}
 	maxSampled := 0.0
 	for i, u := range p.Loads {
-		if !(u > 0) || math.IsInf(u, 0) || math.IsNaN(u) {
-			return fmt.Errorf("core: load of link %d is %v, want > 0", i, u)
+		if !(u > 0) || math.IsInf(u, 0) {
+			// !(u > 0) also rejects NaN: every comparison with NaN is false.
+			return invalidInput("load of link", i, u, "want a finite value > 0")
 		}
 		a := p.alpha(i)
 		if !(a > 0 && a <= 1) {
-			return fmt.Errorf("core: max rate of link %d is %v, want (0, 1]", i, a)
+			return invalidInput("max rate of link", i, a, "want (0, 1]")
 		}
 		maxSampled += a * u
 	}
-	if !(p.Budget > 0) {
-		return fmt.Errorf("core: budget %v, want > 0", p.Budget)
+	if !(p.Budget > 0) || math.IsInf(p.Budget, 0) {
+		return invalidInput("budget", -1, p.Budget, "want a finite value > 0")
 	}
 	if p.Budget > maxSampled*(1+1e-12) {
-		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v (infeasible)", p.Budget, maxSampled)
+		return invalidInput("budget", -1, p.Budget,
+			fmt.Sprintf("exceeds maximum samplable rate %v (infeasible)", maxSampled))
 	}
 	if len(p.Pairs) == 0 {
 		return fmt.Errorf("core: no OD pairs")
@@ -114,6 +116,11 @@ func (p *Problem) Validate() error {
 	for k, pr := range p.Pairs {
 		if pr.Utility == nil {
 			return fmt.Errorf("core: pair %d (%q) has no utility", k, pr.Name)
+		}
+		if math.IsNaN(pr.Weight) || math.IsInf(pr.Weight, 0) {
+			// weight() coerces non-positive weights to 1, but NaN slips
+			// through every comparison — reject it here instead.
+			return invalidInput(fmt.Sprintf("pair %d (%q) weight", k, pr.Name), -1, pr.Weight, "want a finite value")
 		}
 		if len(pr.Links) == 0 {
 			return fmt.Errorf("core: pair %d (%q) traverses no candidate link", k, pr.Name)
@@ -136,7 +143,7 @@ func (p *Problem) Validate() error {
 			}
 			for i, f := range pr.Fracs {
 				if !(f > 0 && f <= 1) {
-					return fmt.Errorf("core: pair %d (%q) fraction %d is %v, want (0, 1]", k, pr.Name, i, f)
+					return invalidInput(fmt.Sprintf("pair %d (%q) fraction", k, pr.Name), i, f, "want (0, 1]")
 				}
 			}
 		}

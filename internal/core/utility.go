@@ -71,7 +71,8 @@ type SRE struct {
 // monotonicity and concavity, which hold for every valid c.
 func NewSRE(c float64) (*SRE, error) {
 	if !(c > 0 && c <= 1) {
-		return nil, fmt.Errorf("core: E[1/S] = %v out of (0, 1]", c)
+		// !(c > 0) rejects NaN too: comparisons with NaN are false.
+		return nil, invalidInput("utility parameter E[1/S]", -1, c, "want (0, 1]")
 	}
 	x0 := 3 * c / (1 + c)
 	u := &SRE{C: c, X0: x0}

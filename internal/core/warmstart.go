@@ -46,8 +46,8 @@ func warmStartRates(prevRates []float64, p *Problem, buf []float64, lower, upper
 	if len(prevRates) != n {
 		return nil, fmt.Errorf("core: warm start has %d rates for %d links", len(prevRates), n)
 	}
-	if !(p.Budget > 0) {
-		return nil, fmt.Errorf("core: budget %v, want > 0", p.Budget)
+	if !(p.Budget > 0) || math.IsInf(p.Budget, 0) {
+		return nil, invalidInput("budget", -1, p.Budget, "want a finite value > 0")
 	}
 	rates := resizeFloats(buf, n)
 
@@ -68,7 +68,8 @@ func warmStartRates(prevRates []float64, p *Problem, buf []float64, lower, upper
 		maxSampled += p.alpha(i) * p.Loads[i]
 	}
 	if p.Budget > maxSampled*(1+1e-12) {
-		return nil, fmt.Errorf("core: budget %v exceeds maximum samplable rate %v (infeasible)", p.Budget, maxSampled)
+		return nil, invalidInput("budget", -1, p.Budget,
+			fmt.Sprintf("exceeds maximum samplable rate %v (infeasible)", maxSampled))
 	}
 
 	switch {

@@ -128,11 +128,12 @@ func (s *Solver) Problem() *Problem { return s.p }
 // is limited to what changed: positivity and feasibility against the
 // cached maximum samplable rate Σ α_i·U_i.
 func (s *Solver) SetBudget(theta float64) error {
-	if !(theta > 0) {
-		return fmt.Errorf("core: budget %v, want > 0", theta)
+	if !(theta > 0) || math.IsInf(theta, 0) {
+		return invalidInput("budget", -1, theta, "want a finite value > 0")
 	}
 	if theta > s.maxSampled*(1+1e-12) {
-		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v (infeasible)", theta, s.maxSampled)
+		return invalidInput("budget", -1, theta,
+			fmt.Sprintf("exceeds maximum samplable rate %v (infeasible)", s.maxSampled))
 	}
 	s.prob.Budget = theta
 	return nil
@@ -148,13 +149,14 @@ func (s *Solver) SetLoads(loads []float64) error {
 	}
 	max := 0.0
 	for i, u := range loads {
-		if !(u > 0) || math.IsInf(u, 0) || math.IsNaN(u) {
-			return fmt.Errorf("core: load of link %d is %v, want > 0", i, u)
+		if !(u > 0) || math.IsInf(u, 0) {
+			return invalidInput("load of link", i, u, "want a finite value > 0")
 		}
 		max += s.prob.alpha(i) * u
 	}
 	if s.prob.Budget > max*(1+1e-12) {
-		return fmt.Errorf("core: budget %v exceeds maximum samplable rate %v under new loads (infeasible)", s.prob.Budget, max)
+		return invalidInput("budget", -1, s.prob.Budget,
+			fmt.Sprintf("exceeds maximum samplable rate %v under new loads (infeasible)", max))
 	}
 	copy(s.prob.Loads, loads)
 	s.maxSampled = max

@@ -1,0 +1,469 @@
+// Package daemon runs the monitoring control loop as a crash-safe,
+// long-running service: per-interval worlds are synthesized, the
+// controller re-optimizes, every decision is journaled write-ahead, and
+// the controller state is checkpointed periodically through
+// internal/state. Because every stochastic input — traffic jitter,
+// fault draws, solver job seeds — is a pure function of (seed, domain,
+// interval, entity), a loop restored from its latest checkpoint
+// re-executes the intervals after it and produces a decision sequence
+// bit-identical to the uninterrupted run; the surviving journal tail is
+// cross-checked against the re-derived decisions, so silent divergence
+// is detected, not assumed away.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"netsamp/internal/control"
+	"netsamp/internal/core"
+	"netsamp/internal/eval"
+	"netsamp/internal/faults"
+	"netsamp/internal/geant"
+	"netsamp/internal/state"
+	"netsamp/internal/topology"
+)
+
+// Config parameterizes a serve loop.
+type Config struct {
+	// Dir is the persistence directory (snapshots + journal).
+	Dir string
+	// Seed drives every stochastic input: world synthesis, fault draws,
+	// solver job seeds. A checkpointed run must be resumed with the same
+	// seed; the checkpoint records and enforces it.
+	Seed uint64
+	// Theta is the sampling budget in packets per measurement interval.
+	Theta float64
+	// Intervals is the total number of intervals to run; 0 means run
+	// until the context is cancelled.
+	Intervals int
+	// CheckpointEvery is the checkpoint cadence in intervals (default 8).
+	CheckpointEvery int
+	// Workers bounds each interval's concurrent solves (0 = GOMAXPROCS).
+	Workers int
+
+	// Controller knobs (see control.Options).
+	SmoothAlpha  float64
+	SwitchGain   float64
+	ReviveAfter  int
+	SolveTimeout time.Duration
+
+	// Faults is the injected fault plan. Its Seed field is overridden
+	// with Config.Seed so one seed governs the whole run.
+	Faults faults.Config
+
+	// CrashAt injects a panic at the start of the given interval (> 0;
+	// 0 disables) — the fault hook the supervised-restart and recovery
+	// tests kill the loop with.
+	CrashAt int
+
+	// AfterInterval, when non-nil, observes each completed interval's
+	// encoded decision record (tests capture sequences with it).
+	AfterInterval func(interval int, record []byte)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery <= 0 {
+		return 8
+	}
+	return c.CheckpointEvery
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// daemonSnapVersion stamps the checkpoint payload.
+const daemonSnapVersion = 1
+
+// journalName is the decision journal's file name inside Config.Dir.
+const journalName = "decisions.nsj"
+
+// Loop is an open serve loop: scenario, controller, fault plan and the
+// persistence stores. Construct with Open, drive with Run, release with
+// Close.
+type Loop struct {
+	cfg      Config
+	scenario *geant.Scenario
+	plan     *faults.Plan
+	ctrl     *control.Controller
+	snaps    *state.SnapshotStore
+	journal  *state.Journal
+	// next is the next interval to execute; everything before it is
+	// covered by the restored checkpoint.
+	next int
+	// expected maps intervals to the journal records that survived past
+	// the checkpoint boundary: re-executed decisions must reproduce them
+	// bit-exactly.
+	expected map[int][]byte
+	// restored reports whether Open resumed from a checkpoint.
+	restored bool
+}
+
+// Open builds the loop and restores it from the newest valid checkpoint
+// in cfg.Dir, if any: the controller state is reinstalled, the journal's
+// torn tail (if a crash left one) is truncated, and journal records from
+// intervals after the checkpoint become cross-check expectations for the
+// deterministic re-execution.
+func Open(cfg Config) (*Loop, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("daemon: no persistence directory")
+	}
+	if !(cfg.Theta > 0) {
+		return nil, fmt.Errorf("daemon: theta %v, want > 0", cfg.Theta)
+	}
+	cfg.Faults.Seed = cfg.Seed
+	fplan, err := faults.NewPlan(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := control.New(control.Options{
+		Budget:       core.BudgetPerInterval(cfg.Theta, eval.Interval),
+		SmoothAlpha:  cfg.SmoothAlpha,
+		SwitchGain:   cfg.SwitchGain,
+		ReviveAfter:  cfg.ReviveAfter,
+		SolveTimeout: cfg.SolveTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snaps, err := state.OpenSnapshots(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{
+		cfg:      cfg,
+		scenario: geant.MustBuild(1),
+		plan:     fplan,
+		ctrl:     ctrl,
+		snaps:    snaps,
+		expected: make(map[int][]byte),
+	}
+
+	// Restore: newest checkpoint that verifies, else run from scratch.
+	if payload, seq, err := snaps.Load(); err == nil {
+		lastDone, err := l.restore(payload)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: checkpoint %d: %w", seq, err)
+		}
+		l.next = lastDone + 1
+		l.restored = true
+		cfg.logf("daemon: restored checkpoint %d (interval %d, %d corrupt generation(s) skipped)",
+			seq, lastDone, snaps.Corrupted())
+	} else if err != state.ErrNoSnapshot {
+		return nil, err
+	}
+
+	journal, records, err := state.OpenJournal(filepath.Join(cfg.Dir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	l.journal = journal
+	if journal.Torn() {
+		cfg.logf("daemon: journal had a torn tail; truncated")
+	}
+	// Split the journal at the checkpoint boundary: records up to it are
+	// settled history; records past it were written after the checkpoint
+	// and must be reproduced bit-exactly by the re-execution.
+	keep := 0
+	for _, rec := range records {
+		t, err := recordInterval(rec)
+		if err != nil {
+			return nil, err
+		}
+		if t < l.next {
+			keep++
+			continue
+		}
+		l.expected[t] = append([]byte{}, rec...)
+	}
+	if err := journal.TruncateTo(keep); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NextInterval returns the next interval the loop will execute.
+func (l *Loop) NextInterval() int { return l.next }
+
+// Restored reports whether Open resumed from a checkpoint.
+func (l *Loop) Restored() bool { return l.restored }
+
+// Close releases the journal handle. It does not checkpoint; Run
+// checkpoints on its way out.
+func (l *Loop) Close() error {
+	if l.journal == nil {
+		return nil
+	}
+	err := l.journal.Close()
+	l.journal = nil
+	return err
+}
+
+// Run executes intervals until the configured count is reached or ctx is
+// cancelled. Cancellation drains gracefully: the in-flight interval
+// finishes (its solve is bounded by SolveTimeout, not by ctx),
+// a final checkpoint is written, and Run returns nil. progress, when
+// non-nil, is invoked after every durable checkpoint — the supervisor
+// uses it to reset its consecutive-failure counter.
+func (l *Loop) Run(ctx context.Context, progress func()) error {
+	every := l.cfg.checkpointEvery()
+	for t := l.next; l.cfg.Intervals == 0 || t < l.cfg.Intervals; t++ {
+		if ctx.Err() != nil {
+			return l.drain(progress)
+		}
+		if l.cfg.CrashAt > 0 && t == l.cfg.CrashAt {
+			panic(fmt.Sprintf("daemon: injected crash at interval %d", t))
+		}
+		world, err := eval.IntervalWorld(l.scenario, t, l.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		// The step runs on a background context so a graceful drain lets
+		// it finish; SolveTimeout still bounds a hung solve.
+		d, err := l.ctrl.StepResilient(context.Background(), control.StepInput{
+			Matrix:     l.scenario.Matrix,
+			Loads:      world.Loads,
+			Candidates: l.scenario.MonitorLinks,
+			InvSizes:   world.Inv,
+			Workers:    l.cfg.Workers,
+			Down:       l.plan.DownSet(t, l.scenario.MonitorLinks),
+			FailSolve:  l.plan.SolverOverrun(t),
+		})
+		if err != nil {
+			return fmt.Errorf("daemon: interval %d: %w", t, err)
+		}
+		rec := encodeDecision(t, d)
+		if want, ok := l.expected[t]; ok {
+			if string(rec) != string(want) {
+				return fmt.Errorf("daemon: interval %d: recovered decision diverges from the journaled one", t)
+			}
+			delete(l.expected, t)
+		}
+		// Write-ahead: the decision is durable before the loop advances.
+		if err := l.journal.Append(rec); err != nil {
+			return err
+		}
+		l.next = t + 1
+		if l.cfg.AfterInterval != nil {
+			l.cfg.AfterInterval(t, rec)
+		}
+		if (t+1)%every == 0 {
+			if err := l.checkpoint(); err != nil {
+				return err
+			}
+			if progress != nil {
+				progress()
+			}
+		}
+	}
+	return l.drain(progress)
+}
+
+// drain writes the final checkpoint of a graceful exit.
+func (l *Loop) drain(progress func()) error {
+	if l.next == 0 {
+		return nil // nothing completed; nothing worth checkpointing
+	}
+	if err := l.checkpoint(); err != nil {
+		return err
+	}
+	if progress != nil {
+		progress()
+	}
+	return nil
+}
+
+// checkpoint persists the loop's state: configuration digest (seed,
+// theta, fault plan, controller knobs), the last completed interval, and
+// the controller's snapshot.
+func (l *Loop) checkpoint() error {
+	ctrlBlob, err := l.ctrl.Snapshot().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	faultsBlob, err := l.cfg.Faults.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var e state.Encoder
+	e.U16(daemonSnapVersion)
+	e.U64(l.cfg.Seed)
+	e.F64(l.cfg.Theta)
+	e.Bytes(faultsBlob)
+	e.F64(l.cfg.SmoothAlpha)
+	e.F64(l.cfg.SwitchGain)
+	e.I64(int64(l.cfg.ReviveAfter))
+	e.I64(int64(l.next - 1)) // last completed interval
+	e.Bytes(ctrlBlob)
+	if err := l.snaps.Save(e.Data()); err != nil {
+		return err
+	}
+	l.cfg.logf("daemon: checkpointed through interval %d", l.next-1)
+	return nil
+}
+
+// restore decodes a checkpoint payload, verifies it belongs to this
+// configuration, reinstalls the controller state, and returns the last
+// completed interval.
+func (l *Loop) restore(payload []byte) (int, error) {
+	d := state.NewDecoder(payload)
+	if v := d.U16(); d.Err() == nil && v != daemonSnapVersion {
+		return 0, fmt.Errorf("unknown checkpoint version %d", v)
+	}
+	seed := d.U64()
+	theta := d.F64()
+	faultsBlob := d.Bytes()
+	alpha := d.F64()
+	gain := d.F64()
+	revive := int(d.I64())
+	lastDone := int(d.I64())
+	ctrlBlob := d.Bytes()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	var savedFaults faults.Config
+	if err := savedFaults.UnmarshalBinary(faultsBlob); err != nil {
+		return 0, err
+	}
+	cfgFaults := l.cfg.Faults
+	cfgFaults.Seed = l.cfg.Seed
+	if seed != l.cfg.Seed || theta != l.cfg.Theta || savedFaults != cfgFaults ||
+		alpha != l.cfg.SmoothAlpha || gain != l.cfg.SwitchGain || revive != l.cfg.ReviveAfter {
+		return 0, fmt.Errorf("checkpoint belongs to a different configuration (seed %d theta %v)", seed, theta)
+	}
+	if lastDone < 0 {
+		return 0, fmt.Errorf("checkpoint carries invalid interval %d", lastDone)
+	}
+	var st control.State
+	if err := st.UnmarshalBinary(ctrlBlob); err != nil {
+		return 0, err
+	}
+	if err := l.ctrl.Restore(st); err != nil {
+		return 0, err
+	}
+	return lastDone, nil
+}
+
+// recordVersion stamps every journal decision record.
+const recordVersion = 1
+
+// Decision record flags.
+const (
+	flagDegraded   = 1 << 0
+	flagSetChanged = 1 << 1
+)
+
+// DecisionRecord is a decoded journal record: one interval's decision in
+// its durable form.
+type DecisionRecord struct {
+	Interval   int
+	Degraded   bool
+	SetChanged bool
+	Gain       float64
+	Uncovered  int
+	Excluded   []topology.LinkID
+	Plan       map[topology.LinkID]float64
+}
+
+// encodeDecision serializes one interval's decision deterministically:
+// excluded links and plan entries in ascending LinkID order, floats as
+// IEEE-754 bits. Two identical decisions always encode to identical
+// bytes — the property the recovery cross-check compares.
+func encodeDecision(interval int, d *control.Decision) []byte {
+	var e state.Encoder
+	e.U16(recordVersion)
+	e.U32(uint32(interval))
+	var flags uint8
+	if d.Degraded {
+		flags |= flagDegraded
+	}
+	if d.SetChanged {
+		flags |= flagSetChanged
+	}
+	e.U8(flags)
+	e.F64(d.Gain)
+	e.U32(uint32(d.Uncovered))
+	e.U32(uint32(len(d.Excluded)))
+	for _, lid := range d.Excluded {
+		e.I64(int64(lid))
+	}
+	links := make([]topology.LinkID, 0, len(d.Plan))
+	for lid := range d.Plan {
+		links = append(links, lid)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	e.U32(uint32(len(links)))
+	for _, lid := range links {
+		e.I64(int64(lid))
+		e.F64(d.Plan[lid])
+	}
+	return e.Data()
+}
+
+// recordInterval peeks a record's interval without a full decode.
+func recordInterval(rec []byte) (int, error) {
+	d := state.NewDecoder(rec)
+	if v := d.U16(); d.Err() == nil && v != recordVersion {
+		return 0, fmt.Errorf("daemon: unknown journal record version %d", v)
+	}
+	t := int(d.U32())
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// DecodeDecision decodes one journal record.
+func DecodeDecision(rec []byte) (DecisionRecord, error) {
+	d := state.NewDecoder(rec)
+	var out DecisionRecord
+	if v := d.U16(); d.Err() == nil && v != recordVersion {
+		return out, fmt.Errorf("daemon: unknown journal record version %d", v)
+	}
+	out.Interval = int(d.U32())
+	flags := d.U8()
+	out.Degraded = flags&flagDegraded != 0
+	out.SetChanged = flags&flagSetChanged != 0
+	out.Gain = d.F64()
+	out.Uncovered = int(d.U32())
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		out.Excluded = append(out.Excluded, topology.LinkID(d.I64()))
+	}
+	n = d.Len(16)
+	if n > 0 {
+		out.Plan = make(map[topology.LinkID]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		lid := topology.LinkID(d.I64())
+		out.Plan[lid] = d.F64()
+	}
+	return out, d.Finish()
+}
+
+// ReadDecisions loads and decodes the full decision journal in dir — the
+// ops/debugging view of what the daemon deployed, interval by interval.
+func ReadDecisions(dir string) ([]DecisionRecord, error) {
+	j, records, err := state.OpenJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	out := make([]DecisionRecord, 0, len(records))
+	for _, rec := range records {
+		dr, err := DecodeDecision(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dr)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Task is one supervised attempt of a long-running operation. progress
+// must be called whenever the task makes durable forward progress (the
+// serve loop calls it after every checkpoint); the supervisor resets its
+// consecutive-failure counter on progress, so a loop that crashes every
+// few hours is restarted forever while one that crashes before its first
+// checkpoint gives up after MaxFailures attempts.
+type Task func(ctx context.Context, progress func()) error
+
+// CrashError is a panic captured by the supervisor, with the stack of
+// the crashed goroutine.
+type CrashError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("daemon: task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Supervisor restarts a failing Task with bounded exponential backoff.
+type Supervisor struct {
+	// MaxFailures is how many consecutive failures (no progress in
+	// between) are tolerated before Run gives up (default 5).
+	MaxFailures int
+	// Backoff is the delay before the first restart (default 100ms); it
+	// doubles per consecutive failure, capped at MaxBackoff (default 30s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep replaces the inter-restart wait (tests capture the backoff
+	// schedule with it); nil uses a context-aware time.Sleep.
+	Sleep func(ctx context.Context, d time.Duration)
+	// Logf, when non-nil, receives restart/give-up log lines.
+	Logf func(format string, args ...any)
+}
+
+func (s *Supervisor) maxFailures() int {
+	if s.MaxFailures <= 0 {
+		return 5
+	}
+	return s.MaxFailures
+}
+
+func (s *Supervisor) backoff() time.Duration {
+	if s.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return s.Backoff
+}
+
+func (s *Supervisor) maxBackoff() time.Duration {
+	if s.MaxBackoff <= 0 {
+		return 30 * time.Second
+	}
+	return s.MaxBackoff
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Supervisor) sleep(ctx context.Context, d time.Duration) {
+	if s.Sleep != nil {
+		s.Sleep(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// Run invokes task, restarting it on error or panic with exponential
+// backoff. Panics become *CrashError values carrying the goroutine
+// stack, so the crash site is in the restart log, not lost with the
+// process. Run returns nil when the task completes, ctx.Err() when the
+// context is cancelled, and the last failure (wrapped) once MaxFailures
+// consecutive failures accumulate without intervening progress.
+func (s *Supervisor) Run(ctx context.Context, task Task) error {
+	failures := 0
+	delay := s.backoff()
+	for {
+		err := s.attempt(ctx, task, func() {
+			failures = 0
+			delay = s.backoff()
+		})
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		failures++
+		if failures >= s.maxFailures() {
+			s.logf("daemon: giving up after %d consecutive failures: %v", failures, err)
+			return fmt.Errorf("daemon: %d consecutive failures, last: %w", failures, err)
+		}
+		s.logf("daemon: task failed (%d/%d), restarting in %v: %v", failures, s.maxFailures(), delay, err)
+		s.sleep(ctx, delay)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		delay *= 2
+		if max := s.maxBackoff(); delay > max {
+			delay = max
+		}
+	}
+}
+
+// attempt runs one task invocation, converting a panic into *CrashError.
+func (s *Supervisor) attempt(ctx context.Context, task Task, progress func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &CrashError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, progress)
+}
+
+// Serve is the supervised serve loop: each attempt re-opens the
+// persistence directory (restoring from the newest checkpoint a previous
+// attempt left behind) and runs until done or crash. This is what
+// `netsamp serve` runs.
+func Serve(ctx context.Context, cfg Config, sup *Supervisor) error {
+	if sup == nil {
+		sup = &Supervisor{}
+	}
+	return sup.Run(ctx, func(ctx context.Context, progress func()) error {
+		loop, err := Open(cfg)
+		if err != nil {
+			return err
+		}
+		defer loop.Close()
+		return loop.Run(ctx, progress)
+	})
+}

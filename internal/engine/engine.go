@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -58,7 +59,10 @@ func (o Options) workers() int {
 }
 
 // PanicError reports a job that panicked. The batch it belonged to
-// completed; only this job's result is missing.
+// completed; only this job's result is missing. Stack is the captured
+// goroutine trace with the capture and panic machinery frames trimmed,
+// so its first frame is the crash site — a supervised restart logs it
+// directly.
 type PanicError struct {
 	Job   int
 	Value any
@@ -67,6 +71,37 @@ type PanicError struct {
 
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// trimStack drops the frames a recovered panic always carries on top —
+// debug.Stack itself, the engine's deferred recovery closure, and the
+// runtime panic dispatch — leaving the panicking function as the first
+// frame. The input is returned unchanged if it doesn't look like a
+// debug.Stack trace.
+func trimStack(stack []byte) []byte {
+	lines := bytes.Split(stack, []byte("\n"))
+	if len(lines) < 3 {
+		return stack
+	}
+	// lines[0] is the "goroutine N [running]:" header; frames follow as
+	// (function, location) line pairs.
+	i := 1
+	for i+1 < len(lines) {
+		fn := lines[i]
+		machinery := bytes.HasPrefix(fn, []byte("runtime/debug.Stack")) ||
+			bytes.HasPrefix(fn, []byte("panic(")) ||
+			bytes.HasPrefix(fn, []byte("runtime.gopanic")) ||
+			bytes.HasPrefix(fn, []byte("runtime.panic")) ||
+			(bytes.Contains(fn, []byte("engine.runJob")) && bytes.Contains(fn, []byte(".func")))
+		if !machinery {
+			break
+		}
+		i += 2
+	}
+	if i+1 >= len(lines) {
+		return stack // trimmed everything: not a trace we understand
+	}
+	return append(append([]byte{}, lines[0]...), append([]byte("\n"), bytes.Join(lines[i:], []byte("\n"))...)...)
 }
 
 // ErrJobTimeout is the sentinel a job's error matches (via errors.Is)
@@ -156,7 +191,7 @@ feed:
 func runJob[T any](ctx context.Context, opt Options, job int, fn func(ctx context.Context, job int, r *rng.Source) (T, error), results []T, errs []error) {
 	defer func() {
 		if v := recover(); v != nil {
-			errs[job] = &PanicError{Job: job, Value: v, Stack: debug.Stack()}
+			errs[job] = &PanicError{Job: job, Value: v, Stack: trimStack(debug.Stack())}
 		}
 	}()
 	jctx := ctx

@@ -96,6 +96,45 @@ func TestRunPanicIsolation(t *testing.T) {
 	}
 }
 
+// crashSite panics from a named function so the stack-trace test can
+// assert the crash site survives trimming.
+func crashSite() { panic("kaboom") }
+
+// TestPanicStackTrace: the PanicError carries the goroutine stack with
+// the capture/panic machinery trimmed, so the first frame names the
+// function that actually panicked — the line a supervised restart logs.
+func TestPanicStackTrace(t *testing.T) {
+	err := Run(context.Background(), Options{Workers: 1},
+		func(_ context.Context, _ *rng.Source) error { crashSite(); return nil },
+	)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	stack := string(pe.Stack)
+	if !strings.Contains(stack, "crashSite") {
+		t.Fatalf("crash site missing from stack:\n%s", stack)
+	}
+	// The machinery frames above the crash site are trimmed: the first
+	// frame line (after the goroutine header) is the panicking function.
+	lines := strings.Split(stack, "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stack too short:\n%s", stack)
+	}
+	if strings.Contains(lines[1], "debug.Stack") || strings.HasPrefix(lines[1], "panic(") {
+		t.Fatalf("machinery frame not trimmed: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "crashSite") {
+		t.Fatalf("first frame is %q, want the crash site", lines[1])
+	}
+	if !strings.Contains(pe.Error(), "crashSite") {
+		t.Fatal("Error() does not include the stack")
+	}
+}
+
 // TestRunCancellation covers the satellite requirement: Run returns
 // promptly with ctx.Err() when cancelled mid-batch, and no goroutines
 // leak (before/after runtime.NumGoroutine guard with a settle loop).

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"netsamp/internal/geant"
+)
+
+// TestIntervalWorldPure: interval t's world is a pure function of
+// (seed, t) — identical bits regardless of evaluation order, so a
+// recovered run regenerates any interval without replaying its
+// predecessors.
+func TestIntervalWorldPure(t *testing.T) {
+	s := geant.MustBuild(1)
+	// Evaluate out of order, twice.
+	order := []int{7, 0, 3, 7, 0, 3}
+	got := make(map[int]*World)
+	for _, tick := range order {
+		w, err := IntervalWorld(s, tick, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := got[tick]; ok {
+			for i := range w.Loads {
+				if w.Loads[i] != prev.Loads[i] {
+					t.Fatalf("interval %d load %d not pure: %v vs %v", tick, i, w.Loads[i], prev.Loads[i])
+				}
+			}
+			for k := range w.Inv {
+				if w.Inv[k] != prev.Inv[k] {
+					t.Fatalf("interval %d inv %d not pure", tick, k)
+				}
+			}
+			continue
+		}
+		got[tick] = w
+	}
+	// Different intervals and different seeds actually vary.
+	same := true
+	for i := range got[0].Loads {
+		if got[0].Loads[i] != got[7].Loads[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("intervals 0 and 7 produced identical loads")
+	}
+	other, err := IntervalWorld(s, 0, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same = true
+	for i := range other.Loads {
+		if other.Loads[i] != got[0].Loads[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical loads")
+	}
+	// Sanity: loads positive, inv in (0, 1].
+	for i, u := range got[0].Loads {
+		if !(u >= 0) {
+			t.Fatalf("load %d = %v", i, u)
+		}
+	}
+	for k, c := range got[0].Inv {
+		if !(c > 0 && c <= 1) {
+			t.Fatalf("inv %d = %v", k, c)
+		}
+	}
+	if _, err := IntervalWorld(s, -1, 42); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}

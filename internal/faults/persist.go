@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"fmt"
+
+	"netsamp/internal/state"
+)
+
+// The fault configuration is part of the daemon's checkpoint: a restored
+// run must rebuild the *same* fault plan, because every fault draw is a
+// pure function of (Seed, domain, interval, entity) and the deterministic
+// recovery guarantee re-executes intervals against it. The encoding is
+// versioned and bit-exact (floats as IEEE-754 bits).
+
+// configVersion stamps the Config binary encoding.
+const configVersion = 1
+
+// MarshalBinary encodes the configuration deterministically.
+func (c Config) MarshalBinary() ([]byte, error) {
+	var e state.Encoder
+	e.U16(configVersion)
+	e.U64(c.Seed)
+	e.F64(c.MonitorCrash)
+	e.F64(c.MeanOutage)
+	e.I64(int64(c.MaxOutage))
+	e.F64(c.RateClamp)
+	e.F64(c.ClampFactor)
+	e.F64(c.DatagramLoss)
+	e.F64(c.DatagramDup)
+	e.F64(c.DatagramReorder)
+	e.F64(c.SolverOverrun)
+	return e.Data(), nil
+}
+
+// UnmarshalBinary decodes a configuration produced by MarshalBinary,
+// rejecting unknown versions and malformed payloads. The decoded values
+// are exactly the encoded ones; re-validate with NewPlan before use.
+func (c *Config) UnmarshalBinary(b []byte) error {
+	d := state.NewDecoder(b)
+	if v := d.U16(); d.Err() == nil && v != configVersion {
+		return fmt.Errorf("faults: unknown config version %d", v)
+	}
+	c.Seed = d.U64()
+	c.MonitorCrash = d.F64()
+	c.MeanOutage = d.F64()
+	c.MaxOutage = int(d.I64())
+	c.RateClamp = d.F64()
+	c.ClampFactor = d.F64()
+	c.DatagramLoss = d.F64()
+	c.DatagramDup = d.F64()
+	c.DatagramReorder = d.F64()
+	c.SolverOverrun = d.F64()
+	return d.Finish()
+}

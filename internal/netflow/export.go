@@ -372,11 +372,27 @@ func (c *Collector) decode(b []byte) (Batch, bool) {
 	defer c.mu.Unlock()
 	var h packet.Header
 	if err := h.DecodeFromBytes(b); err != nil {
+		// Truncated, foreign or version-skewed header.
+		c.stats.Malformed++
+		return Batch{}, false
+	}
+	if h.Count == 0 {
+		// An export datagram always carries records; the exporter never
+		// sends empty ones, so this is noise or a forged header.
 		c.stats.Malformed++
 		return Batch{}, false
 	}
 	want := packet.HeaderSize + int(h.Count)*packet.RecordSize
-	if len(b) != want {
+	if len(b) < want {
+		// The declared record count exceeds the buffer: a mid-record cut
+		// or a forged count. Reject before the record loop so it can
+		// never over-read, and never let a truncated datagram advance the
+		// sequence accounting.
+		c.stats.Malformed++
+		return Batch{}, false
+	}
+	if len(b) > want {
+		// Trailing bytes after the declared records: not ours.
 		c.stats.Malformed++
 		return Batch{}, false
 	}

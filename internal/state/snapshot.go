@@ -1,0 +1,209 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file format (little-endian):
+//
+//	0  magic   u32  "NSST"
+//	4  version u16  envelope format version
+//	6  flags   u16  reserved, zero
+//	8  length  u32  payload byte count
+//	12 crc32   u32  IEEE CRC of the payload
+//	16 payload
+//
+// Files are named snap-<seq>.nss with a monotonically increasing
+// 16-hex-digit sequence number, written to a temporary name in the same
+// directory and atomically renamed into place, so a crash mid-write
+// never clobbers an existing generation. Load walks the generations
+// newest-first and returns the first one whose envelope verifies —
+// corruption of the latest snapshot degrades to the previous one, never
+// to an error the operator has to hand-fix.
+
+const (
+	snapshotMagic   = 0x5453534e // "NSST"
+	snapshotVersion = 1
+	snapshotHeader  = 16
+	snapshotPrefix  = "snap-"
+	snapshotSuffix  = ".nss"
+)
+
+// DefaultKeep is the number of snapshot generations retained.
+const DefaultKeep = 2
+
+// ErrNoSnapshot reports a store with no decodable snapshot.
+var ErrNoSnapshot = errors.New("state: no valid snapshot")
+
+// ErrCorrupt reports an envelope that failed verification (bad magic,
+// unknown version, short payload, or CRC mismatch).
+var ErrCorrupt = errors.New("state: corrupt snapshot")
+
+// SnapshotStore persists versioned snapshots in a directory. It is not
+// safe for concurrent use; the control loop owns it from one goroutine.
+type SnapshotStore struct {
+	dir       string
+	keep      int
+	nextSeq   uint64
+	corrupted int
+}
+
+// OpenSnapshots opens (creating if needed) the snapshot store in dir.
+func OpenSnapshots(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state: open snapshot store: %w", err)
+	}
+	s := &SnapshotStore{dir: dir, keep: DefaultKeep}
+	seqs, err := s.sequences()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		s.nextSeq = seqs[len(seqs)-1] + 1
+	}
+	return s, nil
+}
+
+// Corrupted returns how many snapshot generations failed verification
+// during Load calls — the operator-visible signal that the fallback
+// path engaged.
+func (s *SnapshotStore) Corrupted() int { return s.corrupted }
+
+// sequences returns the sequence numbers present on disk, ascending.
+func (s *SnapshotStore) sequences() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("state: scan snapshots: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+		seq, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (s *SnapshotStore) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", snapshotPrefix, seq, snapshotSuffix))
+}
+
+// Save writes payload as the next snapshot generation: envelope to a
+// temporary file, fsync, atomic rename, then pruning of generations
+// beyond the retention count. The previous generation stays intact on
+// disk until the new one is durable.
+func (s *SnapshotStore) Save(payload []byte) error {
+	var e Encoder
+	e.U32(snapshotMagic)
+	e.U16(snapshotVersion)
+	e.U16(0)
+	e.U32(uint32(len(payload)))
+	e.U32(crc32.ChecksumIEEE(payload))
+	blob := append(e.Data(), payload...)
+
+	seq := s.nextSeq
+	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("state: save snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("state: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(seq)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("state: save snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	s.nextSeq = seq + 1
+
+	// Prune: keep the newest `keep` generations. Best-effort — a stale
+	// generation is wasted disk, not an error.
+	if seqs, err := s.sequences(); err == nil && len(seqs) > s.keep {
+		for _, old := range seqs[:len(seqs)-s.keep] {
+			os.Remove(s.path(old))
+		}
+	}
+	return nil
+}
+
+// Load returns the payload and sequence number of the newest snapshot
+// that verifies. Generations failing verification are skipped (and
+// counted in Corrupted); ErrNoSnapshot is returned when none survives.
+func (s *SnapshotStore) Load() ([]byte, uint64, error) {
+	seqs, err := s.sequences()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		blob, err := os.ReadFile(s.path(seqs[i]))
+		if err != nil {
+			s.corrupted++
+			continue
+		}
+		payload, err := decodeSnapshot(blob)
+		if err != nil {
+			s.corrupted++
+			continue
+		}
+		return payload, seqs[i], nil
+	}
+	return nil, 0, ErrNoSnapshot
+}
+
+// decodeSnapshot verifies the envelope and returns the payload.
+func decodeSnapshot(blob []byte) ([]byte, error) {
+	d := NewDecoder(blob)
+	if d.U32() != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := d.U16(); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, v)
+	}
+	d.U16() // flags
+	n := d.U32()
+	sum := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if int(n) != d.Remaining() {
+		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrCorrupt, n, d.Remaining())
+	}
+	payload := blob[snapshotHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a rename is durable. Best-effort: some
+// filesystems reject directory fsync, and the rename itself is already
+// atomic.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

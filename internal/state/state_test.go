@@ -1,0 +1,314 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.U16(0xbeef)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 62)
+	e.I64(-42)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.F64(math.NaN())
+	e.Bytes([]byte("payload"))
+
+	d := NewDecoder(e.Data())
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Fatalf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 -Inf = %v", got)
+	}
+	if got := d.F64(); !math.IsNaN(got) {
+		t.Fatalf("F64 NaN = %v", got)
+	}
+	if got := d.Bytes(); string(got) != "payload" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	d.U64() // short
+	if d.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	if !errors.Is(d.Err(), ErrCodec) {
+		t.Fatalf("error %v does not wrap ErrCodec", d.Err())
+	}
+	// Subsequent reads stay zero without panicking.
+	if d.U32() != 0 || d.F64() != 0 || d.Bytes() != nil {
+		t.Fatal("reads after error returned data")
+	}
+}
+
+func TestDecoderLenGuardsAllocation(t *testing.T) {
+	var e Encoder
+	e.U32(1 << 30) // claims a billion elements
+	d := NewDecoder(e.Data())
+	if n := d.Len(8); n != 0 || d.Err() == nil {
+		t.Fatalf("bogus count accepted: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestDecoderFinishTrailing(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	d.U8()
+	if err := d.Finish(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store Load = %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Save([]byte{byte(i), byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, seq, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 || !bytes.Equal(payload, []byte{4, 4, 4}) {
+		t.Fatalf("Load = %v seq %d", payload, seq)
+	}
+	// Retention: only DefaultKeep generations remain on disk.
+	entries, _ := os.ReadDir(dir)
+	snaps := 0
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) == ".nss" {
+			snaps++
+		}
+	}
+	if snaps != DefaultKeep {
+		t.Fatalf("%d generations retained, want %d", snaps, DefaultKeep)
+	}
+	// Reopen: sequence numbering continues.
+	s2, err := OpenSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Save([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, _ := s2.Load(); seq != 5 {
+		t.Fatalf("sequence after reopen = %d, want 5", seq)
+	}
+}
+
+// TestSnapshotCorruptionFallsBack: a corrupted latest generation must
+// fall back to the previous valid one, not error out.
+func TestSnapshotCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("old-good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("new-bad")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the newest generation.
+	path := s.path(1)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, err := s.Load()
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if seq != 0 || string(payload) != "old-good" {
+		t.Fatalf("Load = %q seq %d, want old-good seq 0", payload, seq)
+	}
+	if s.Corrupted() == 0 {
+		t.Fatal("corruption not counted")
+	}
+	// Truncated header: also detected.
+	if err := os.WriteFile(s.path(1), blob[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, err := s.Load(); err != nil || seq != 0 {
+		t.Fatalf("truncated-header fallback: seq %d err %v", seq, err)
+	}
+}
+
+func TestJournalAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.nsj")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte{byte(i), 0xaa}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 10 || j2.Len() != 10 || j2.Torn() {
+		t.Fatalf("recovered %d records, torn=%v", len(recs), j2.Torn())
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r, []byte{byte(i), 0xaa}) {
+			t.Fatalf("record %d = %v", i, r)
+		}
+	}
+}
+
+// TestJournalTornTail: a partial append (torn length, torn payload, or
+// corrupted CRC) is truncated on reopen; the valid prefix survives; the
+// journal keeps appending cleanly from the cut.
+func TestJournalTornTail(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		grow func([]byte) []byte
+	}{
+		{"torn-length", func(b []byte) []byte { return append(b, 0x05, 0x00) }},
+		{"torn-payload", func(b []byte) []byte {
+			return append(b, 0xff, 0x00, 0x00, 0x00, 1, 2, 3, 4, 9, 9)
+		}},
+		{"crc-mismatch", func(b []byte) []byte {
+			return append(b, 2, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 7, 7)
+		}},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal.nsj")
+			j, _, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.Append([]byte("one"))
+			j.Append([]byte("two"))
+			j.Close()
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tear.grow(blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, recs, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !j2.Torn() {
+				t.Fatal("torn tail not reported")
+			}
+			if len(recs) != 2 || string(recs[0]) != "one" || string(recs[1]) != "two" {
+				t.Fatalf("valid prefix lost: %q", recs)
+			}
+			if err := j2.Append([]byte("three")); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, recs, err = OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 3 || string(recs[2]) != "three" {
+				t.Fatalf("append after truncation: %q", recs)
+			}
+		})
+	}
+}
+
+func TestJournalTruncateTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.nsj")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		j.Append([]byte{byte(i)})
+	}
+	if err := j.TruncateTo(7); err == nil {
+		t.Fatal("overlong truncation accepted")
+	}
+	if err := j.TruncateTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	j.Append([]byte{0xcc})
+	j.Close()
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{{0}, {1}, {2}, {0xcc}}
+	if len(recs) != len(want) {
+		t.Fatalf("%d records after truncate+append", len(recs))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %v, want %v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.nsj")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("foreign file accepted as journal")
+	}
+}
