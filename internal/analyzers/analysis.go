@@ -1,0 +1,240 @@
+// Package analyzers is netsamp's static-analysis suite: five custom
+// analyzers that mechanically enforce the invariants the repo's
+// correctness story rests on — deterministic replay, zero-allocation
+// hot paths, encode/decode symmetry of the persistence codec, exact
+// float comparison discipline, and sticky-error hygiene.
+//
+// The suite is built on a small stdlib-only framework that mirrors the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic). The
+// container this repo builds in has no module proxy access, so the
+// x/tools dependency is deliberately not used; the framework below is
+// the subset the five analyzers need, typechecking packages against the
+// compiler's export data (see load.go) exactly as a vet tool would.
+//
+// Annotation grammar (machine-readable comments, all prefixed
+// //netsamp: with no space after //):
+//
+//	//netsamp:noalloc
+//	    On a function's doc comment: the function body is checked for
+//	    allocating constructs (intraprocedurally; the alloc-pinning
+//	    benchmarks remain the end-to-end guard).
+//	//netsamp:nondeterministic-ok <reason>
+//	    On or immediately above a flagged line: suppresses a
+//	    determinism finding. The reason is mandatory.
+//	//netsamp:alloc-ok <reason>
+//	    On or immediately above a flagged line inside a noalloc
+//	    function: suppresses an allocation finding (e.g. a provably
+//	    non-escaping closure).
+//	//netsamp:floateq-ok <reason>
+//	    On or immediately above a float ==/!=: marks the comparison as
+//	    an intentional exact fixed-point/bit-pattern comparison.
+//	//netsamp:err-ok <reason>
+//	    On or immediately above a discarded error: marks the discard as
+//	    deliberate best-effort.
+//	//netsamp:codec pair=<decodeFunc>
+//	    On an encode function's doc comment: names the decode function
+//	    (same package) whose read sequence must mirror the writes.
+//	//netsamp:codec-ignore <field>[,<field>...]
+//	    On a MarshalBinary doc comment: struct fields deliberately
+//	    excluded from the encoding.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring the x/tools analysis.Analyzer
+// shape so the suite could migrate to the real framework wholesale.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts; drivers consult it before running. Tests
+	// invoke analyzers directly and bypass the filter.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one typechecked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+	// lineComments maps file → line → the comments whose text starts on
+	// that line, for directive lookup.
+	lineComments map[*ast.File]map[int][]*ast.Comment
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directivePrefix is the comment prefix of every netsamp annotation.
+const directivePrefix = "//netsamp:"
+
+// parseDirective splits a comment into (name, args) if it is a netsamp
+// directive, e.g. "//netsamp:alloc-ok reused scratch" →
+// ("alloc-ok", "reused scratch").
+func parseDirective(c *ast.Comment) (name, args string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, args, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(args), true
+}
+
+func (p *Pass) buildLineComments() {
+	if p.lineComments != nil {
+		return
+	}
+	p.lineComments = make(map[*ast.File]map[int][]*ast.Comment, len(p.Files))
+	for _, f := range p.Files {
+		m := make(map[int][]*ast.Comment)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Pos()).Line
+				m[line] = append(m[line], c)
+			}
+		}
+		p.lineComments[f] = m
+	}
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// LineDirective reports whether a directive named name annotates the
+// line of pos or the line immediately above it, returning its argument
+// string. Directives with a mandatory reason must check args != "".
+func (p *Pass) LineDirective(pos token.Pos, name string) (args string, ok bool) {
+	p.buildLineComments()
+	f := p.fileOf(pos)
+	if f == nil {
+		return "", false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, c := range p.lineComments[f][l] {
+			if n, a, isDir := parseDirective(c); isDir && n == name {
+				return a, true
+			}
+		}
+	}
+	return "", false
+}
+
+// FuncDirective reports whether fn's doc comment carries a directive
+// named name, returning its argument string.
+func FuncDirective(fn *ast.FuncDecl, name string) (args string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if n, a, isDir := parseDirective(c); isDir && n == name {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// isTestFile reports whether the file's name ends in _test.go; the
+// analyzers skip test files (the bitwise replay tests compare floats
+// with == on purpose, and test helpers allocate freely).
+func (p *Pass) isTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// sourceFiles returns the non-test files of the pass.
+func (p *Pass) sourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !p.isTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer (honoring AppliesTo) to every
+// package and returns the findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		NoallocAnalyzer,
+		CodecPairAnalyzer,
+		FloatCmpAnalyzer,
+		StickyErrAnalyzer,
+	}
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestCodecPairGolden(t *testing.T) {
+	runGolden(t, CodecPairAnalyzer, "codecpair")
+}

@@ -1,0 +1,20 @@
+package analyzers
+
+import "testing"
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, DeterminismAnalyzer, "determinism")
+}
+
+func TestReplayFence(t *testing.T) {
+	for _, p := range ReplayCriticalPackages {
+		if !IsReplayCritical(p) {
+			t.Errorf("IsReplayCritical(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"netsamp/internal/topology", "netsamp/internal/analyzers", "fmt"} {
+		if IsReplayCritical(p) {
+			t.Errorf("IsReplayCritical(%q) = true, want false", p)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmpAnalyzer flags == and != whose operands carry floating-point
+// bits — floats, complex numbers, and structs/arrays containing them.
+// Two floats that "should" be equal rarely are after independent
+// computation paths, and a comparison that happens to hold on one
+// machine order can break under a different FMA contraction or
+// summation order — silently, which inside the replay fence means a
+// divergence the journal cross-check can only report, not explain.
+//
+// Exact comparisons are legitimate in two places, and both must say so:
+// comparisons against sentinel values written verbatim (exact zero
+// pinned by the active-set logic, bit-pattern config digests), which
+// take `//netsamp:floateq-ok <reason>` on the line; and the bitwise
+// replay tests, which live in _test.go files the analyzer skips
+// entirely.
+//
+// The analyzer runs over the replay-critical packages plus the
+// persistence-adjacent ones (faults, netflow) where bit-exact codec
+// round-trips make exact comparisons tempting.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands outside annotated exact comparisons",
+	AppliesTo: func(pkgPath string) bool {
+		return IsReplayCritical(pkgPath) ||
+			pkgPath == "netsamp/internal/faults" ||
+			pkgPath == "netsamp/internal/netflow"
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.Info.Types[bin.X]
+			yt := pass.Info.Types[bin.Y]
+			if xt.Type == nil || yt.Type == nil {
+				return true
+			}
+			if !hasFloats(xt.Type) && !hasFloats(yt.Type) {
+				return true
+			}
+			// A comparison folded at compile time (two constants) cannot
+			// diverge at run time.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if reason, ok := pass.LineDirective(bin.OpPos, "floateq-ok"); ok {
+				if reason == "" {
+					pass.Reportf(bin.OpPos, "netsamp:floateq-ok requires a reason")
+				}
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"%s on floating-point operands; compare against a tolerance, or annotate //netsamp:floateq-ok <reason> for an intentional exact comparison", bin.Op)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestFloatCmpGolden(t *testing.T) {
+	runGolden(t, FloatCmpAnalyzer, "floatcmp")
+}

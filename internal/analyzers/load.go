@@ -1,0 +1,167 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads the packages matching patterns in the module at
+// dir, typechecking each against the compiler's export data. The go
+// command is invoked once (`go list -export -deps -json`), which builds
+// any stale export data as a side effect — the same data `go vet` hands
+// a vettool, so the standalone driver and the vettool protocol see
+// identical type information. Test files are not loaded.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.Standard || m.DepOnly {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("analyzers: load %s: %s", m.ImportPath, m.Error.Err)
+		}
+		var files []string
+		for _, f := range m.GoFiles {
+			files = append(files, filepath.Join(m.Dir, f))
+		}
+		pkg, err := TypeCheck(m.ImportPath, files, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []listedPackage
+	for {
+		var m listedPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: decode go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// ExportLookup returns an importer lookup function resolving import
+// paths through an importPath → export-data-file map (optionally via an
+// importMap of source paths to canonical ones, as a vet config supplies).
+func ExportLookup(importMap, exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analyzers: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// TypeCheck parses and typechecks one package from its source files,
+// resolving imports through export data.
+func TypeCheck(importPath string, files []string, exports map[string]string) (*Package, error) {
+	return typeCheckMapped(importPath, files, nil, exports)
+}
+
+// TypeCheckVet is TypeCheck for the vettool protocol, where the vet
+// config supplies both an import map (source path → canonical path) and
+// the per-package export data files.
+func TypeCheckVet(importPath string, files []string, importMap, packageFile map[string]string) (*Package, error) {
+	return typeCheckMapped(importPath, files, importMap, packageFile)
+}
+
+func typeCheckMapped(importPath string, files []string, importMap, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: parse %s: %w", f, err)
+		}
+		parsed = append(parsed, af)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", ExportLookup(importMap, exports)),
+	}
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo allocates a fully populated types.Info.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

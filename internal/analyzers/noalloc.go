@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocAnalyzer checks functions annotated `//netsamp:noalloc` for
+// allocating constructs. It is the static complement of the
+// alloc-pinning benchmarks (BenchmarkSolveReuse, the warm-chain pin):
+// the benchmarks prove the composed hot path allocates zero bytes per
+// op; this check points at the exact line when a refactor reintroduces
+// an allocation, before any benchmark runs.
+//
+// Flagged constructs inside an annotated function:
+//
+//   - make, new;
+//   - slice and map composite literals, and &T{...} (escaping
+//     composites);
+//   - append whose result is not reassigned to the slice being appended
+//     to (x = append(x, ...) and the buffer-reuse form
+//     x = append(x[:0], ...) are the amortized in-place idioms and are
+//     allowed; y := append(x, ...) grows a fresh backing array);
+//   - calls into fmt (every fmt call allocates for its varargs);
+//   - string([]byte) / []byte(string) conversions;
+//   - explicit conversions to interface types (boxing);
+//   - function literals (potential closure allocations);
+//   - go statements (goroutine stacks).
+//
+// The check is intraprocedural: callees are not followed; annotate the
+// callees that matter. Error paths are exempt in one narrow form — a
+// fmt/errors call inside an if-body whose last statement is a return —
+// because the zero-alloc contract covers the steady state, not the
+// failure exits. Anything else needs `//netsamp:alloc-ok <reason>` on
+// the flagged line.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "check //netsamp:noalloc functions for allocating constructs",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := FuncDirective(fn, "noalloc"); !ok {
+				continue
+			}
+			checkNoalloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	report := func(pos token.Pos, what string) {
+		if reason, ok := pass.LineDirective(pos, "alloc-ok"); ok {
+			if reason == "" {
+				pass.Reportf(pos, "netsamp:alloc-ok requires a reason")
+			}
+			return
+		}
+		pass.Reportf(pos, "%s in //netsamp:noalloc function %s; hoist it out of the hot path or annotate //netsamp:alloc-ok <reason>", what, name)
+	}
+	coldPaths := coldErrorBlocks(pass, fn.Body)
+	inCold := func(pos token.Pos) bool {
+		for _, b := range coldPaths {
+			if b.Pos() <= pos && pos <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// selfAppends are append calls of the form x = append(x, ...) — the
+	// amortized in-place growth idiom — identified while visiting their
+	// enclosing assignment (parents precede children in the walk).
+	selfAppends := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+					// x = append(x, ...) and the buffer-reuse variant
+					// x = append(x[:0], ...) both grow in place (amortized).
+					dstExpr := ast.Unparen(call.Args[0])
+					if se, ok := dstExpr.(*ast.SliceExpr); ok {
+						dstExpr = se.X
+					}
+					dst := exprString(dstExpr)
+					if dst != "" && exprString(n.Lhs[i]) == dst {
+						selfAppends[call] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pass.Info, n, "make"):
+				report(n.Pos(), "make")
+			case isBuiltin(pass.Info, n, "new"):
+				report(n.Pos(), "new")
+			case isBuiltin(pass.Info, n, "append"):
+				if !selfAppends[n] {
+					report(n.Pos(), "append into a fresh backing array")
+				}
+			default:
+				if obj := calleeObject(pass.Info, n); obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "fmt":
+						if !inCold(n.Pos()) {
+							report(n.Pos(), "fmt."+obj.Name()+" (allocates for its varargs)")
+						}
+					case "errors":
+						if !inCold(n.Pos()) {
+							report(n.Pos(), "errors."+obj.Name())
+						}
+					}
+				}
+				checkConversion(pass, n, report)
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal")
+				case *types.Map:
+					report(n.Pos(), "map literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal (escapes to the heap)")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (potential closure allocation)")
+			return false // don't descend: one finding per literal
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (goroutine stack)")
+		}
+		return true
+	})
+}
+
+// exprString renders simple assignable expressions (identifiers,
+// selector chains, index expressions with simple indices) to a
+// comparable string; "" for anything more complex.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprString(e.X)
+		idx := exprString(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}
+
+// checkConversion flags boxing and string/byte-slice conversions.
+func checkConversion(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	to := tv.Type
+	from := pass.Info.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
+		report(call.Pos(), "conversion to interface (boxes the operand)")
+		return
+	}
+	toB, toOK := to.Underlying().(*types.Basic)
+	fromS, fromSliceOK := from.Underlying().(*types.Slice)
+	if toOK && toB.Kind() == types.String && fromSliceOK {
+		if eb, ok := fromS.Elem().Underlying().(*types.Basic); ok && (eb.Kind() == types.Byte || eb.Kind() == types.Rune || eb.Kind() == types.Int32 || eb.Kind() == types.Uint8) {
+			report(call.Pos(), "string(slice) conversion (copies)")
+		}
+		return
+	}
+	if toSlice, ok := to.Underlying().(*types.Slice); ok {
+		if fb, ok := from.Underlying().(*types.Basic); ok && fb.Info()&types.IsString != 0 {
+			if eb, ok := toSlice.Elem().Underlying().(*types.Basic); ok && (eb.Kind() == types.Byte || eb.Kind() == types.Uint8 || eb.Kind() == types.Rune || eb.Kind() == types.Int32) {
+				report(call.Pos(), "[]byte/[]rune(string) conversion (copies)")
+			}
+		}
+	}
+}
+
+// coldErrorBlocks collects if-bodies that end in a return statement and
+// construct an error on the way out — the failure exits a zero-alloc
+// contract does not cover.
+func coldErrorBlocks(pass *Pass, body *ast.BlockStmt) []*ast.BlockStmt {
+	var cold []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) == 0 {
+			return true
+		}
+		if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); ok {
+			cold = append(cold, ifs.Body)
+		}
+		return true
+	})
+	return cold
+}

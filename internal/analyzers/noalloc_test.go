@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestNoallocGolden(t *testing.T) {
+	runGolden(t, NoallocAnalyzer, "noalloc")
+}

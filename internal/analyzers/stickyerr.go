@@ -1,0 +1,241 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StickyErrAnalyzer enforces the error discipline the persistence layer
+// depends on:
+//
+//   - a function that constructs a sticky state.Decoder must consult it
+//     — call Err() or Finish() — before returning (or hand the decoder
+//     off); the sticky design makes every intermediate read infallible
+//     precisely because ONE check at the end is mandatory, so a decode
+//     path with no check silently accepts corrupt payloads;
+//
+//   - the error results of durability-critical calls must not be
+//     discarded: (*os.File).Sync (an unchecked fsync is the
+//     textbook way to lose an acknowledged write), Truncate, Write and
+//     Seek on files, Decoder.Err/Finish themselves, and
+//     MarshalBinary/UnmarshalBinary/Validate-shaped functions.
+//
+// Deliberate best-effort discards take `//netsamp:err-ok <reason>` on
+// the flagged line.
+var StickyErrAnalyzer = &Analyzer{
+	Name: "stickyerr",
+	Doc:  "flag unconsulted sticky decoders and discarded durability-critical errors",
+	Run:  runStickyErr,
+}
+
+// checkedFileMethods are the *os.File methods whose error result is
+// durability- or position-critical.
+var checkedFileMethods = map[string]bool{
+	"Sync": true, "Truncate": true, "Write": true, "Seek": true, "WriteAt": true,
+}
+
+func runStickyErr(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkStickyDecoders(pass, fn)
+		}
+		checkDiscardedErrors(pass, f)
+	}
+	return nil
+}
+
+// isStateDecoder reports whether t is the sticky decoder type: a named
+// type called Decoder with the sticky method pair (Err and Finish) and
+// the width reads. Matching on shape rather than import path keeps the
+// analyzer honest in its own golden tests and robust to the state
+// package moving.
+func isStateDecoder(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Decoder" {
+		return false
+	}
+	have := map[string]bool{}
+	for i := 0; i < named.NumMethods(); i++ {
+		have[named.Method(i).Name()] = true
+	}
+	return have["Err"] && have["Finish"] && have["U64"]
+}
+
+// checkStickyDecoders verifies every decoder constructed in fn is
+// consulted before fn returns.
+func checkStickyDecoders(pass *Pass, fn *ast.FuncDecl) {
+	// decoders maps the local object to its construction position.
+	type decoderUse struct {
+		pos       token.Pos
+		consulted bool
+		escaped   bool
+	}
+	decoders := make(map[types.Object]*decoderUse)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := definedObj(pass.Info, id)
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !isStateDecoder(obj.Type()) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if obj2 := calleeObject(pass.Info, call); obj2 != nil && strings.HasPrefix(obj2.Name(), "New") {
+					decoders[obj] = &decoderUse{pos: as.Pos()}
+				}
+			}
+		}
+		return true
+	})
+	if len(decoders) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// d.Err() / d.Finish() consults; d passed as an argument
+			// escapes (the callee owns the check).
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if du := decoders[pass.Info.Uses[id]]; du != nil {
+						if sel.Sel.Name == "Err" || sel.Sel.Name == "Finish" {
+							du.consulted = true
+						}
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if du := decoders[pass.Info.Uses[id]]; du != nil {
+						du.escaped = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if du := decoders[pass.Info.Uses[id]]; du != nil {
+						du.escaped = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, du := range decoders {
+		if du.consulted || du.escaped {
+			continue
+		}
+		if reason, ok := pass.LineDirective(du.pos, "err-ok"); ok {
+			if reason == "" {
+				pass.Reportf(du.pos, "netsamp:err-ok requires a reason")
+			}
+			continue
+		}
+		pass.Reportf(du.pos,
+			"sticky Decoder is never consulted: call Err() or Finish() before returning, or the decode accepts corrupt payloads silently")
+	}
+}
+
+// checkDiscardedErrors flags statements that drop durability-critical
+// error results on the floor: bare expression statements and
+// assignments to blank identifiers only.
+func checkDiscardedErrors(pass *Pass, f *ast.File) {
+	if pass.isTestFile(f) {
+		return
+	}
+	report := func(pos token.Pos, what string) {
+		if reason, ok := pass.LineDirective(pos, "err-ok"); ok {
+			if reason == "" {
+				pass.Reportf(pos, "netsamp:err-ok requires a reason")
+			}
+			return
+		}
+		pass.Reportf(pos, "%s's error is discarded; handle it or annotate //netsamp:err-ok <reason>", what)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+		case *ast.AssignStmt:
+			// _ = f() and _, _ = f() discards.
+			allBlank := true
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank && len(n.Rhs) == 1 {
+				call, _ = ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			}
+		case *ast.GoStmt:
+			call = n.Call
+		case *ast.DeferStmt:
+			call = n.Call
+		}
+		if call == nil {
+			return true
+		}
+		if what, critical := durabilityCritical(pass, call); critical {
+			report(call.Pos(), what)
+		}
+		return true
+	})
+}
+
+// durabilityCritical classifies a call whose results are being
+// discarded.
+func durabilityCritical(pass *Pass, call *ast.CallExpr) (string, bool) {
+	named, method := namedMethodReceiver(pass.Info, call)
+	if named != nil {
+		pkg := named.Obj().Pkg()
+		if pkg != nil && pkg.Path() == "os" && named.Obj().Name() == "File" && checkedFileMethods[method] {
+			return "(*os.File)." + method, true
+		}
+		if isStateDecoder(named) && (method == "Err" || method == "Finish") {
+			return "Decoder." + method, true
+		}
+	}
+	obj := calleeObject(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || !returnsError(sig) {
+		return "", false
+	}
+	switch {
+	case fn.Name() == "MarshalBinary", fn.Name() == "UnmarshalBinary":
+		return fn.Name(), true
+	case strings.Contains(fn.Name(), "Validate"):
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestStickyErrGolden(t *testing.T) {
+	runGolden(t, StickyErrAnalyzer, "stickyerr")
+}

@@ -1,0 +1,114 @@
+// Package determinism is golden-test input: each // want comment marks
+// an expected finding on its line.
+package determinism
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now() // want `time\.Now reads the wall clock`
+
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+
+	t := time.Unix(0, 0) // ok: a fixed instant, not a wall-clock read
+	_ = t
+
+	//netsamp:nondeterministic-ok logging only, the value is never persisted
+	_ = time.Now()
+
+	//netsamp:nondeterministic-ok
+	_ = time.Now() // want `requires a reason`
+}
+
+func randomness(n int) int {
+	_ = rand.Intn(n) // want `draws from the process-global generator`
+
+	r := rand.New(rand.NewSource(1)) // ok: explicitly seeded generator
+	return r.Intn(n)                 // ok: method on a local generator
+}
+
+func double(x int) int { return 2 * x }
+
+func mapLoops(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // ok: integer accumulation is commutative and exact
+	}
+
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = double(v) // ok: keyed writes land on key-determined slots
+	}
+
+	count := 0
+	for range m {
+		count++ // ok: increments are order-free
+	}
+
+	seen := false
+	for range m {
+		seen = true // ok: idempotent literal assignment
+	}
+	_ = seen
+
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `materializes iteration order`
+	}
+	_ = keys
+
+	total := 0.0
+	for _, v := range m {
+		total += float64(v) // want `float addition is not associative`
+	}
+	_ = total
+
+	return sum + count + len(out)
+}
+
+func firstKey(m map[int]int) int {
+	for k := range m {
+		return k // want `a return value`
+	}
+	return 0
+}
+
+func lastKey(m map[int]int) int {
+	last := 0
+	for k := range m {
+		last = k // want `an outer variable`
+	}
+	return last
+}
+
+func sortedEscape(m map[int]int) []int {
+	var keys []int
+	//netsamp:nondeterministic-ok keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var counter int
+
+func helper() {}
+
+func goroutines(ch chan int, wg *sync.WaitGroup) {
+	go func() { ch <- 1 }() // ok: the channel send is visible synchronization
+
+	go func() { // ok: sync call visible in the body
+		defer wg.Done()
+		counter++
+	}()
+
+	go helper() // want `out-of-line body`
+
+	go func() { counter++ }() // want `unsynchronized goroutine`
+
+	//netsamp:nondeterministic-ok metrics-only goroutine, result never read back
+	go func() { counter++ }()
+}

@@ -1,0 +1,47 @@
+// Package floatcmp is golden-test input: each // want comment marks an
+// expected finding on its line.
+package floatcmp
+
+type vec struct{ x, y float64 }
+
+type tagged struct {
+	id   int
+	load float64
+}
+
+func compare(a, b float64, i, j int, u, v vec) bool {
+	if a == b { // want `== on floating-point operands`
+		return true
+	}
+	if i == j { // ok: integer comparison is exact
+		return true
+	}
+	if u != v { // want `!= on floating-point operands`
+		return false
+	}
+	return false
+}
+
+func structs(s, t tagged) bool {
+	return s == t // want `== on floating-point operands`
+}
+
+func sentinels(rate float64) bool {
+	//netsamp:floateq-ok zero is the inactive-monitor sentinel, never computed
+	return rate == 0
+}
+
+func sloppySentinel(rate float64) bool {
+	//netsamp:floateq-ok
+	return rate == 0 // want `requires a reason`
+}
+
+const eps = 1e-9
+
+func folded() bool {
+	return eps == 1e-9 // ok: both operands are constants, folded at compile time
+}
+
+func ints(counts map[int]int) bool {
+	return counts[0] != counts[1] // ok: no floating-point bits involved
+}

@@ -1,0 +1,94 @@
+// Package noalloc is golden-test input: each // want comment marks an
+// expected finding on its line.
+package noalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func run() {}
+
+// unannotated functions are not checked at all.
+func unannotated() []int {
+	return make([]int, 8) // ok: no //netsamp:noalloc directive
+}
+
+//netsamp:noalloc
+func grows(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n) // want `make`
+	}
+	return buf[:n]
+}
+
+//netsamp:noalloc
+func selfAppend(xs []int, v int) []int {
+	xs = append(xs, v) // ok: self-append grows in place (amortized)
+	return xs
+}
+
+//netsamp:noalloc
+func reuseAppend(buf, payload []byte) []byte {
+	buf = append(buf[:0], payload...) // ok: buffer-reuse self-append
+	return buf
+}
+
+//netsamp:noalloc
+func freshAppend(xs []int) []int {
+	ys := append(xs, 1) // want `fresh backing array`
+	return ys
+}
+
+//netsamp:noalloc
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n) // ok: failure exit ends in return
+	}
+	return nil
+}
+
+//netsamp:noalloc
+func hotFmt(n int) string {
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf`
+	return s
+}
+
+//netsamp:noalloc
+func boxes(n int) any {
+	return any(n) // want `conversion to interface`
+}
+
+//netsamp:noalloc
+func copies(b []byte) string {
+	return string(b) // want `string\(slice\) conversion`
+}
+
+//netsamp:noalloc
+func literals() {
+	_ = []int{1, 2}  // want `slice literal`
+	_ = map[int]int{} // want `map literal`
+	_ = &pair{}       // want `&composite literal`
+}
+
+//netsamp:noalloc
+func spawns() {
+	go run() // want `go statement`
+}
+
+//netsamp:noalloc
+func closes() func() {
+	return func() {} // want `function literal`
+}
+
+//netsamp:noalloc
+func excused() func() {
+	//netsamp:alloc-ok constructed once at startup, not per interval
+	return func() {}
+}
+
+//netsamp:noalloc
+func sloppyExcuse(xs []int) []int {
+	//netsamp:alloc-ok
+	ys := append(xs, 1) // want `requires a reason`
+	return ys
+}

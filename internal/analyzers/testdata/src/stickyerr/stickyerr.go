@@ -1,0 +1,94 @@
+// Package stickyerr is golden-test input: each // want comment marks an
+// expected finding on its line. The Decoder reproduces the sticky shape
+// (Err/Finish/U64) the analyzer matches on.
+package stickyerr
+
+import "os"
+
+type Decoder struct {
+	rest []byte
+	err  error
+}
+
+func NewDecoder(b []byte) *Decoder { return &Decoder{rest: b} }
+
+func (d *Decoder) U16() uint16   { return 0 }
+func (d *Decoder) U64() uint64   { return 0 }
+func (d *Decoder) F64() float64  { return 0 }
+func (d *Decoder) Err() error    { return d.err }
+func (d *Decoder) Finish() error { return d.err }
+
+func unconsulted(b []byte) uint64 {
+	d := NewDecoder(b) // want `never consulted`
+	return d.U64()
+}
+
+func consulted(b []byte) (uint64, error) {
+	d := NewDecoder(b) // ok: the sticky check happens exactly once below
+	v := d.U64()
+	return v, d.Finish()
+}
+
+func errChecked(b []byte) uint64 {
+	d := NewDecoder(b) // ok: consulted through Err
+	v := d.U64()
+	if d.Err() != nil {
+		return 0
+	}
+	return v
+}
+
+func drain(d *Decoder) uint64 {
+	v := d.U64()
+	if d.Err() != nil {
+		return 0
+	}
+	return v
+}
+
+func handedOff(b []byte) uint64 {
+	d := NewDecoder(b) // ok: the callee owns the check
+	return drain(d)
+}
+
+func annotated(b []byte) uint64 {
+	//netsamp:err-ok length was pre-validated by the framing layer
+	d := NewDecoder(b)
+	return d.U64()
+}
+
+func dropsCheck(b []byte) {
+	d := NewDecoder(b)
+	v := d.U64()
+	_ = v
+	d.Err() // want `Decoder\.Err's error is discarded`
+}
+
+func fileDiscards(f *os.File) {
+	f.Sync() // want `\(\*os\.File\)\.Sync's error is discarded`
+
+	_ = f.Truncate(0) // want `\(\*os\.File\)\.Truncate's error is discarded`
+
+	defer f.Sync() // want `\(\*os\.File\)\.Sync's error is discarded`
+
+	f.Sync() //netsamp:err-ok best-effort flush; Close re-syncs durably
+
+	if _, err := f.Write(nil); err != nil { // ok: error handled
+		return
+	}
+}
+
+type blob struct{}
+
+func (blob) MarshalBinary() ([]byte, error)  { return nil, nil }
+func (*blob) UnmarshalBinary(b []byte) error { return nil }
+
+func mustValidate() error { return nil }
+
+func dropsCritical(b blob) {
+	b.MarshalBinary() // want `MarshalBinary's error is discarded`
+
+	mustValidate() // want `mustValidate's error is discarded`
+
+	mustValidate() //netsamp:err-ok advisory check, failure handled by the next solve
+}

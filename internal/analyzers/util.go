@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeObject resolves the function or method object a call invokes,
+// or nil for calls through function values, built-ins, and conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Fn.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes a package-level function
+// named name from the package with import path pkgPath.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	// Package-level functions have no receiver.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isBuiltin reports whether the call invokes the builtin named name.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// hasFloats reports whether comparing two values of type t compares
+// floating-point bits: floats and complex numbers themselves, arrays of
+// them, and structs with such fields (struct/array comparison compares
+// fields element-wise, so a stray NaN or -0 hides just as well there).
+func hasFloats(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Info()&(types.IsFloat|types.IsComplex) != 0
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mentionsObjects reports whether expr references any of the given
+// objects (by use).
+func mentionsObjects(info *types.Info, expr ast.Node, objs map[types.Object]bool) bool {
+	if expr == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// definedObj returns the object an identifier defines, or nil.
+func definedObj(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	return info.Defs[id]
+}
+
+// namedMethodReceiver returns the named type a selector call's receiver
+// resolves to (through pointers), or nil — e.g. for d.U16() it returns
+// the Decoder named type.
+func namedMethodReceiver(info *types.Info, call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named, sel.Sel.Name
+	}
+	// Receiver may itself be a pointer to a named type.
+	if ptr, ok := recv.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return named, sel.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the signature's last result is an error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res == nil || res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), errorType)
+}

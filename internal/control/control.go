@@ -123,6 +123,7 @@ func New(opts Options) (*Controller, error) {
 	if opts.SolveTimeout < 0 {
 		return nil, fmt.Errorf("control: solve timeout %v, want >= 0", opts.SolveTimeout)
 	}
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
 	if opts.SmoothAlpha == 0 {
 		opts.SmoothAlpha = 1
 	}
@@ -337,6 +338,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 	// pair lost coverage — the set is infeasible and we must switch, so
 	// its error is deliberately demoted to "no retained plan".
 	var retained []topology.LinkID
+	//netsamp:floateq-ok zero is the hysteresis-off sentinel, never a computed value
 	if c.active != nil && c.opts.SwitchGain != 0 {
 		retained = intersect(c.active, eligible)
 	}
@@ -389,10 +391,11 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		retainedSol = full
 	}
 	fullRates := plan.RatesByLink(full, eligible)
-	fullSet := sortedKeys(fullRates)
+	fullSet := topology.SortedKeys(fullRates)
 
 	c.steps++
 	// First interval, no hysteresis, or no previous set: adopt.
+	//netsamp:floateq-ok zero is the hysteresis-off sentinel, never a computed value
 	if c.active == nil || c.opts.SwitchGain == 0 {
 		changed := !equalSets(c.active, fullSet)
 		c.active = fullSet
@@ -406,6 +409,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Excluded: excluded, Uncovered: uncovered}, nil
 	}
 	gain := 0.0
+	//netsamp:floateq-ok exact-zero guard against dividing by the objective
 	if retainedSol.Objective != 0 {
 		gain = (full.Objective - retainedSol.Objective) / math.Abs(retainedSol.Objective)
 	}
@@ -416,7 +420,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 	}
 	// Keep the set; deploy re-tuned rates.
 	rates := plan.RatesByLink(retainedSol, retained)
-	c.active = sortedKeys(rates)
+	c.active = topology.SortedKeys(rates)
 	c.rememberGood(rates)
 	return &Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain, Excluded: excluded, Uncovered: uncovered}, nil
 }
@@ -452,7 +456,7 @@ func (c *Controller) fallback(cause error, eligible, excluded []topology.LinkID,
 			fb[lid] = math.Min(1, fb[lid]*scale)
 		}
 	}
-	set := sortedKeys(fb)
+	set := topology.SortedKeys(fb)
 	changed := !equalSets(c.active, set)
 	c.active = set
 	c.steps++
@@ -518,15 +522,6 @@ func copyRates(m map[topology.LinkID]float64) map[topology.LinkID]float64 {
 	for lid, p := range m {
 		out[lid] = p
 	}
-	return out
-}
-
-func sortedKeys(m map[topology.LinkID]float64) []topology.LinkID {
-	out := make([]topology.LinkID, 0, len(m))
-	for lid := range m {
-		out = append(out, lid)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -66,13 +66,15 @@ func (c *Controller) Restore(st State) error {
 	if st.Steps < 0 || st.Fallbacks < 0 || st.Fallbacks > st.Steps {
 		return fmt.Errorf("control: restore: %d fallbacks over %d steps", st.Fallbacks, st.Steps)
 	}
-	for lid, p := range st.LastGood {
-		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+	// Sorted iteration keeps the reported error deterministic when more
+	// than one entry is invalid.
+	for _, lid := range topology.SortedKeys(st.LastGood) {
+		if p := st.LastGood[lid]; math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
 			return fmt.Errorf("control: restore: last-good rate of link %d is %v, want [0, 1]", lid, p)
 		}
 	}
-	for lid, n := range st.Probation {
-		if n < 0 {
+	for _, lid := range topology.SortedKeys(st.Probation) {
+		if n := st.Probation[lid]; n < 0 {
 			return fmt.Errorf("control: restore: probation of link %d is %d, want >= 0", lid, n)
 		}
 	}
@@ -128,15 +130,11 @@ func (s State) MarshalBinary() ([]byte, error) {
 	e.I64(int64(s.Steps))
 	e.I64(int64(s.Fallbacks))
 	e.U32(uint32(len(s.LastGood)))
-	for _, lid := range sortedKeys(s.LastGood) {
+	for _, lid := range topology.SortedKeys(s.LastGood) {
 		e.I64(int64(lid))
 		e.F64(s.LastGood[lid])
 	}
-	probKeys := make([]topology.LinkID, 0, len(s.Probation))
-	for lid := range s.Probation {
-		probKeys = append(probKeys, lid)
-	}
-	sort.Slice(probKeys, func(i, j int) bool { return probKeys[i] < probKeys[j] })
+	probKeys := topology.SortedKeys(s.Probation)
 	e.U32(uint32(len(probKeys)))
 	for _, lid := range probKeys {
 		e.I64(int64(lid))

@@ -216,6 +216,7 @@ func fixBudget(p *Problem, rates []float64, lower, upper []bool) {
 			}
 			den += p.Loads[i] * p.Loads[i]
 		}
+		//netsamp:floateq-ok a sum of squares is exactly zero only when every term is
 		if den == 0 {
 			return
 		}
@@ -295,6 +296,7 @@ func projectionLambda(p *Problem, g []float64, lower, upper []bool) float64 {
 		num += g[i] * p.Loads[i]
 		den += p.Loads[i] * p.Loads[i]
 	}
+	//netsamp:floateq-ok a sum of squares is exactly zero only when every term is
 	if den == 0 {
 		return 0
 	}
@@ -385,6 +387,7 @@ func maxStep(p *Problem, rates, s []float64, lower, upper []bool) (float64, int)
 	tMax := math.Inf(1)
 	blocking := -1
 	for i := range s {
+		//netsamp:floateq-ok an exactly-zero step direction means the coordinate is stationary
 		if lower[i] || upper[i] || s[i] == 0 {
 			continue
 		}

@@ -41,6 +41,7 @@ func WarmStartRates(prevRates []float64, p *Problem, buf []float64) ([]float64, 
 // warmStartRates is the projection with caller-supplied mask scratch
 // (Solver.WarmStart lends its own, keeping continuation chains
 // allocation-free in steady state).
+//netsamp:noalloc
 func warmStartRates(prevRates []float64, p *Problem, buf []float64, lower, upper []bool) ([]float64, error) {
 	n := p.NumLinks()
 	if len(prevRates) != n {
@@ -110,7 +111,7 @@ func warmStartRates(prevRates []float64, p *Problem, buf []float64, lower, upper
 	// links in use — zeros stay exactly zero so the solver inherits the
 	// previous active set.
 	for i := 0; i < n; i++ {
-		lower[i] = rates[i] == 0
+		lower[i] = rates[i] == 0 //netsamp:floateq-ok exact-zero pins inherit the previous active set
 		upper[i] = false
 	}
 	fixBudget(p, rates, lower, upper)
@@ -121,9 +122,10 @@ func warmStartRates(prevRates []float64, p *Problem, buf []float64, lower, upper
 // with Σ min((α_i − p_i)·U_i, τ) = deficit over the included links
 // (monotone in τ: bisect), then raise each by min(α_i − p_i, τ/U_i).
 // onlyPositive restricts the fill to links already in use.
+//netsamp:noalloc
 func waterfill(p *Problem, rates []float64, deficit float64, onlyPositive bool) {
 	n := p.NumLinks()
-	include := func(i int) bool { return !onlyPositive || rates[i] > 0 }
+	include := func(i int) bool { return !onlyPositive || rates[i] > 0 } //netsamp:alloc-ok captures only stack values; does not escape, so it stays on the stack
 	hi := 0.0
 	for i := 0; i < n; i++ {
 		if include(i) {
@@ -162,6 +164,7 @@ func waterfill(p *Problem, rates []float64, deficit float64, onlyPositive bool) 
 // as Options.Initial to the next Solve on this workspace. The Solver's
 // mask scratch serves the projection (it is rebuilt by the next solve),
 // so a continuation chain reusing buf allocates nothing.
+//netsamp:noalloc
 func (s *Solver) WarmStart(prev *Solution, buf []float64) ([]float64, error) {
 	if prev == nil {
 		return nil, fmt.Errorf("core: warm start from nil solution")

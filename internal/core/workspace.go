@@ -221,6 +221,7 @@ func (s *Solver) Solve(opt Options) (*Solution, error) {
 // across same-shaped solves makes the whole call allocation-free in
 // steady state. The problem is NOT re-validated: validation happened
 // once in NewSolver.
+//netsamp:noalloc
 func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 	p := s.p
 	n := s.n
@@ -394,6 +395,7 @@ func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 // it, so a poor step degrades to a short move, never an infeasible one.
 // Falls out (returning false) for the exact rate model, a singular
 // system, or a numerically non-ascent direction.
+//netsamp:noalloc
 func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
 	if s.p.Exact {
 		// The exact model's Hessian has off-diagonal coupling terms from
@@ -420,6 +422,7 @@ func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
 	}
 	for k := 0; k < s.nPairs; k++ {
 		c := s.wts[k] * s.utils[k].Curv(s.rho(k, rates))
+		//netsamp:floateq-ok exactly-zero curvature contributes nothing to K
 		if c == 0 {
 			continue
 		}
@@ -482,6 +485,7 @@ func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
 // solveDenseInPlace solves the m×m row-major system a·x = b by Gaussian
 // elimination with partial pivoting, overwriting a and b (b becomes x).
 // Reports false on an (effectively) singular pivot.
+//netsamp:noalloc
 func solveDenseInPlace(a, b []float64, m int) bool {
 	for c := 0; c < m; c++ {
 		pr, pmax := c, math.Abs(a[c*m+c])
@@ -490,6 +494,7 @@ func solveDenseInPlace(a, b []float64, m int) bool {
 				pr, pmax = r, v
 			}
 		}
+		//netsamp:floateq-ok an exactly-zero pivot column means the system is singular
 		if pmax == 0 {
 			return false
 		}
@@ -502,6 +507,7 @@ func solveDenseInPlace(a, b []float64, m int) bool {
 		inv := 1 / a[c*m+c]
 		for r := c + 1; r < m; r++ {
 			f := a[r*m+c] * inv
+			//netsamp:floateq-ok an exactly-zero multiplier leaves the row unchanged
 			if f == 0 {
 				continue
 			}
@@ -523,6 +529,7 @@ func solveDenseInPlace(a, b []float64, m int) bool {
 
 // rho returns the effective sampling rate of pair k at rates, from the
 // compiled incidence.
+//netsamp:noalloc
 func (s *Solver) rho(k int, rates []float64) float64 {
 	lo, hi := s.start[k], s.start[k+1]
 	if s.p.Exact {
@@ -546,6 +553,7 @@ func (s *Solver) rho(k int, rates []float64) float64 {
 }
 
 // gradient writes ∂/∂p_i Σ_k w_k·M_k(ρ_k) into out.
+//netsamp:noalloc
 func (s *Solver) gradient(rates, out []float64) {
 	for i := range out {
 		out[i] = 0
@@ -579,6 +587,7 @@ func (s *Solver) gradient(rates, out []float64) {
 
 // lineDerivs returns φ'(t) and φ”(t) for φ(t) = Objective(rates + t·dir)
 // over the compiled incidence (see Problem.lineDerivs for the math).
+//netsamp:noalloc
 func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
 	exact := s.p.Exact
 	for k := 0; k < s.nPairs; k++ {
@@ -631,6 +640,7 @@ func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
 // newtonDir marks dir as a Newton-KKT step, whose natural length is 1 —
 // starting there instead of the bracket midpoint saves most of the
 // search when the quadratic model is accurate.
+//netsamp:noalloc
 func (s *Solver) lineSearch(rates, dir []float64, tMax float64, opt Options, newtonDir bool) (t float64, hitMax bool) {
 	d1End, _ := s.lineDerivs(rates, dir, tMax)
 	if d1End >= 0 {
@@ -671,6 +681,7 @@ func (s *Solver) lineSearch(rates, dir []float64, tMax float64, opt Options, new
 
 // finishInto assembles the Solution at the terminal point, reusing sol's
 // slices when they are large enough.
+//netsamp:noalloc
 func (s *Solver) finishInto(sol *Solution, rates, g []float64, stats Stats, converged bool) {
 	p := s.p
 	lower, upper := s.lower, s.upper

@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"netsamp/internal/control"
@@ -284,6 +283,8 @@ func (l *Loop) drain(progress func()) error {
 // checkpoint persists the loop's state: configuration digest (seed,
 // theta, fault plan, controller knobs), the last completed interval, and
 // the controller's snapshot.
+//
+//netsamp:codec pair=restore
 func (l *Loop) checkpoint() error {
 	ctrlBlob, err := l.ctrl.Snapshot().MarshalBinary()
 	if err != nil {
@@ -335,7 +336,11 @@ func (l *Loop) restore(payload []byte) (int, error) {
 	}
 	cfgFaults := l.cfg.Faults
 	cfgFaults.Seed = l.cfg.Seed
+	// A checkpoint is only replayable under the configuration that wrote
+	// it, bit for bit — tolerance here would accept a divergent replay.
+	//netsamp:floateq-ok config identity must be exact for the checkpoint to be replayable
 	if seed != l.cfg.Seed || theta != l.cfg.Theta || savedFaults != cfgFaults ||
+		//netsamp:floateq-ok config identity must be exact for the checkpoint to be replayable
 		alpha != l.cfg.SmoothAlpha || gain != l.cfg.SwitchGain || revive != l.cfg.ReviveAfter {
 		return 0, fmt.Errorf("checkpoint belongs to a different configuration (seed %d theta %v)", seed, theta)
 	}
@@ -377,6 +382,8 @@ type DecisionRecord struct {
 // excluded links and plan entries in ascending LinkID order, floats as
 // IEEE-754 bits. Two identical decisions always encode to identical
 // bytes — the property the recovery cross-check compares.
+//
+//netsamp:codec pair=DecodeDecision
 func encodeDecision(interval int, d *control.Decision) []byte {
 	var e state.Encoder
 	e.U16(recordVersion)
@@ -395,11 +402,7 @@ func encodeDecision(interval int, d *control.Decision) []byte {
 	for _, lid := range d.Excluded {
 		e.I64(int64(lid))
 	}
-	links := make([]topology.LinkID, 0, len(d.Plan))
-	for lid := range d.Plan {
-		links = append(links, lid)
-	}
-	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	links := topology.SortedKeys(d.Plan)
 	e.U32(uint32(len(links)))
 	for _, lid := range links {
 		e.I64(int64(lid))

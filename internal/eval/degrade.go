@@ -75,6 +75,7 @@ func (c *DegradeConfig) defaults() {
 	if c.Theta <= 0 {
 		c.Theta = 100000
 	}
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
 	if c.OverrunRate == 0 {
 		c.OverrunRate = 0.2
 	} else if c.OverrunRate < 0 {
@@ -272,6 +273,7 @@ func simulateDegradePoint(s *geant.Scenario, fp *faults.Plan, r *rng.Source, in 
 			if in.naiveBelieved[k] > 0 {
 				estN = float64(drawsN[k].delivered) / in.naiveBelieved[k]
 			}
+			//netsamp:floateq-ok an unmeasured pair has an exactly-zero achieved rate, not a rounded one
 			if naiveAchieved[k] == 0 {
 				pt.NaiveUnmeasured++
 			}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"netsamp/internal/baseline"
@@ -122,11 +121,7 @@ func Table1(s *geant.Scenario, theta float64, trials int, seed uint64) (*Table1R
 
 	res := &Table1Result{Theta: theta, Solution: sol}
 	// Active monitor columns, ordered by link ID for stability.
-	var active []topology.LinkID
-	for lid := range rates {
-		active = append(active, lid)
-	}
-	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	active := topology.SortedKeys(rates)
 	for _, lid := range active {
 		col := Table1Link{
 			Link:         lid,

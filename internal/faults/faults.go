@@ -113,6 +113,7 @@ func NewPlan(cfg Config) (*Plan, error) {
 	if cfg.MeanOutage < 1 {
 		cfg.MeanOutage = 1
 	}
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
 	if cfg.ClampFactor == 0 {
 		cfg.ClampFactor = 0.5
 	}

@@ -117,6 +117,7 @@ func (c *Compiled) Retune(in Input) error {
 	}
 	changed := false
 	for k, v := range in.InvMeanSizes {
+		//netsamp:floateq-ok bitwise change detection decides whether to re-push parameters
 		if v != c.inv[k] {
 			changed = true
 			break

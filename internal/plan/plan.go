@@ -6,7 +6,6 @@ package plan
 
 import (
 	"fmt"
-	"sort"
 
 	"netsamp/internal/core"
 	"netsamp/internal/routing"
@@ -148,11 +147,7 @@ func EffectiveRates(m *routing.Matrix, rates map[topology.LinkID]float64, exact 
 // in link-ID order so the result is bit-reproducible across runs (map
 // iteration order would otherwise reorder the float additions).
 func SampledRate(rates map[topology.LinkID]float64, loads []float64) float64 {
-	lids := make([]topology.LinkID, 0, len(rates))
-	for lid := range rates {
-		lids = append(lids, lid)
-	}
-	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	lids := topology.SortedKeys(rates)
 	t := 0.0
 	for _, lid := range lids {
 		t += rates[lid] * loads[lid]

@@ -43,6 +43,9 @@ type Journal struct {
 	path    string
 	offsets []int64 // end offset of each record
 	torn    bool
+	// scratch assembles header+payload for one write call; reused across
+	// appends so the steady-state append path allocates nothing.
+	scratch []byte
 }
 
 // OpenJournal opens (creating if needed) the journal at path, scans the
@@ -138,15 +141,21 @@ func (j *Journal) Torn() bool { return j.torn }
 func (j *Journal) Len() int { return len(j.offsets) }
 
 // Append writes one record (length, CRC, payload) and fsyncs, so an
-// acknowledged append survives a crash.
+// acknowledged append survives a crash. Header and payload are staged in
+// a journal-owned scratch buffer and issued as one Write so a record is
+// never split across syscalls.
+//
+//netsamp:noalloc
 func (j *Journal) Append(payload []byte) error {
 	if len(payload) > maxRecordSize {
 		return fmt.Errorf("state: journal record of %d bytes exceeds limit", len(payload))
 	}
-	var e Encoder
-	e.U32(uint32(len(payload)))
-	e.U32(crc32.ChecksumIEEE(payload))
-	if _, err := j.f.Write(append(e.Data(), payload...)); err != nil {
+	j.scratch = append(j.scratch[:0],
+		byte(len(payload)), byte(len(payload)>>8), byte(len(payload)>>16), byte(len(payload)>>24))
+	sum := crc32.ChecksumIEEE(payload)
+	j.scratch = append(j.scratch, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+	j.scratch = append(j.scratch, payload...)
+	if _, err := j.f.Write(j.scratch); err != nil {
 		return fmt.Errorf("state: append journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {

@@ -107,6 +107,8 @@ func (s *SnapshotStore) path(seq uint64) string {
 // temporary file, fsync, atomic rename, then pruning of generations
 // beyond the retention count. The previous generation stays intact on
 // disk until the new one is durable.
+//
+//netsamp:codec pair=decodeSnapshot
 func (s *SnapshotStore) Save(payload []byte) error {
 	var e Encoder
 	e.U32(snapshotMagic)
@@ -203,7 +205,7 @@ func decodeSnapshot(blob []byte) ([]byte, error) {
 // atomic.
 func syncDir(dir string) {
 	if f, err := os.Open(dir); err == nil {
-		f.Sync()
+		f.Sync() //netsamp:err-ok some filesystems reject directory fsync; the rename is already atomic
 		f.Close()
 	}
 }

@@ -282,3 +282,16 @@ func (g *Graph) DOT() string {
 	b.WriteString("}\n")
 	return b.String()
 }
+
+// SortedKeys returns the LinkID keys of m in ascending order. Replay
+// determinism forbids letting Go's randomized map iteration order reach
+// any persisted or decision-bearing output; every such loop in the
+// replay-critical packages drains its map through this helper instead.
+func SortedKeys[V any](m map[LinkID]V) []LinkID {
+	keys := make([]LinkID, 0, len(m))
+	for lid := range m {
+		keys = append(keys, lid) //netsamp:nondeterministic-ok keys are sorted before return
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
