@@ -37,7 +37,7 @@ func benchScenario(b *testing.B) *geant.Scenario {
 	return scenarioVal
 }
 
-func benchProblem(b *testing.B, s *geant.Scenario, exact bool) *core.Problem {
+func benchProblem(b *testing.B, s *geant.Scenario, model core.RateModel) *core.Problem {
 	b.Helper()
 	prob, _, err := plan.Build(plan.Input{
 		Matrix:       s.Matrix,
@@ -45,7 +45,7 @@ func benchProblem(b *testing.B, s *geant.Scenario, exact bool) *core.Problem {
 		Candidates:   s.MonitorLinks,
 		InvMeanSizes: s.UtilityParams(eval.Interval),
 		Budget:       core.BudgetPerInterval(100000, eval.Interval),
-		Exact:        exact,
+		Model:        model,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -67,7 +67,7 @@ func BenchmarkFigure1Utility(b *testing.B) {
 // task at θ = 100,000 packets per 5-minute interval) through the
 // one-shot path: every call re-validates, re-compiles and allocates.
 func BenchmarkTable1Optimization(b *testing.B) {
-	prob := benchProblem(b, benchScenario(b), false)
+	prob := benchProblem(b, benchScenario(b), nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -86,7 +86,7 @@ func BenchmarkTable1Optimization(b *testing.B) {
 // re-optimizing every interval. Steady-state iterations allocate
 // nothing (pinned by TestSolveIntoZeroAllocs).
 func BenchmarkSolveReuse(b *testing.B) {
-	prob := benchProblem(b, benchScenario(b), false)
+	prob := benchProblem(b, benchScenario(b), nil)
 	s, err := core.NewSolver(prob)
 	if err != nil {
 		b.Fatal(err)
@@ -189,7 +189,7 @@ func BenchmarkAccessLinkComparison(b *testing.B) {
 // BenchmarkMaxMinExtension runs the max-min variant (the alternative
 // objective the paper defers to future work).
 func BenchmarkMaxMinExtension(b *testing.B) {
-	prob := benchProblem(b, benchScenario(b), false)
+	prob := benchProblem(b, benchScenario(b), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveMaxMin(prob, core.MaxMinOptions{Rounds: 10}); err != nil {
@@ -214,7 +214,7 @@ func BenchmarkTwoPhaseGreedyBaseline(b *testing.B) {
 // --- Ablations: solver design choices --------------------------------
 
 func benchAblation(b *testing.B, opt core.Options) {
-	prob := benchProblem(b, benchScenario(b), false)
+	prob := benchProblem(b, benchScenario(b), nil)
 	b.ResetTimer()
 	iters := 0
 	for i := 0; i < b.N; i++ {
@@ -259,13 +259,39 @@ func BenchmarkAblationNoSecondOrder(b *testing.B) {
 // BenchmarkAblationExactRateModel solves with the exact effective-rate
 // model (1) instead of approximation (7).
 func BenchmarkAblationExactRateModel(b *testing.B) {
-	prob := benchProblem(b, benchScenario(b), true)
+	prob := benchProblem(b, benchScenario(b), core.ModelIndependentExact)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Solve(prob, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAblationCoordinatedModel solves under the coordinated
+// (cSamp-style) rate model — bitwise the linear trajectory — and
+// reports the mean per-pair coverage the coordinated deployment
+// recovers over independent sampling at the same per-link rates.
+func BenchmarkAblationCoordinatedModel(b *testing.B) {
+	s := benchScenario(b)
+	prob := benchProblem(b, s, core.ModelCoordinated)
+	var sol *core.Solution
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if sol, err = core.Solve(prob, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rates := plan.RatesByLink(sol, s.MonitorLinks)
+	indep := plan.EffectiveRates(s.Matrix, rates, core.ModelIndependentExact)
+	coord := plan.EffectiveRates(s.Matrix, rates, core.ModelCoordinated)
+	gain := 0.0
+	for k := range indep {
+		gain += coord[k] - indep[k]
+	}
+	b.ReportMetric(gain/float64(len(indep)), "coord-gain")
 }
 
 // BenchmarkDynamicStudy runs the static-vs-reoptimized study (6
@@ -294,7 +320,7 @@ func BenchmarkDetectionStudy(b *testing.B) {
 // BenchmarkMaxMinExact runs the certified LP-bisection max-min solver
 // on the Table I instance.
 func BenchmarkMaxMinExact(b *testing.B) {
-	prob := benchProblem(b, benchScenario(b), false)
+	prob := benchProblem(b, benchScenario(b), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveMaxMinExact(prob, 1e-9); err != nil {

@@ -13,8 +13,9 @@
 //	netsamp tm       [-theta N] [-trials N] [-workers N]
 //	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
 //	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
+//	netsamp coordinate [-trials N] [-seed N] [-csv] [-workers N]
 //	netsamp serve    -dir DIR [-theta N] [-seed N] [-intervals N] [-checkpoint N] [-workers N]
-//	netsamp optimize -f network.netsamp [-exact] [-maxmin] [-json]
+//	netsamp optimize -f network.netsamp [-model M] [-maxmin] [-json]
 //	netsamp bench    [-pattern RE] [-benchtime T] [-count N] [-o FILE]
 //	netsamp topo
 //	netsamp all
@@ -128,6 +129,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdDynamic(args)
 	case "degrade":
 		err = cmdDegrade(args)
+	case "coordinate":
+		err = cmdCoordinate(args)
 	case "serve":
 		err = cmdServe(args)
 	case "optimize":
@@ -166,6 +169,7 @@ commands:
   tm           traffic-matrix estimation: SNMP counters vs optimized sampling
   dynamic      static vs re-optimized plans under traffic/routing dynamics
   degrade      accuracy under monitor crashes and export loss, naive vs graceful
+  coordinate   coordinated (cSamp-style) vs independent sampling across θ
   serve        supervised control-loop daemon with crash-safe checkpointing
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
@@ -461,12 +465,16 @@ func cmdDegrade(args []string) error {
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	file := fs.String("f", "", "scenario file (see internal/spec for the format)")
-	exact := fs.Bool("exact", false, "use the exact effective-rate model (1) instead of approximation (7)")
+	modelName := fs.String("model", "linear", "effective-rate model: linear (paper's working model (7)), exact (product model (1)), or coordinated (cSamp-style hash partitioning)")
 	maxmin := fs.Bool("maxmin", false, "maximize the worst pair's utility (certified LP bisection) instead of the sum")
 	jsonOut := fs.Bool("json", false, "emit the plan as JSON (for automation)")
 	fs.Parse(args)
 	if *file == "" {
 		return fmt.Errorf("optimize needs -f <scenario file>")
+	}
+	model, err := core.ModelByName(*modelName)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(*file)
 	if err != nil {
@@ -477,7 +485,7 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sc.Solve(core.Options{}, *exact)
+	res, err := sc.Solve(core.Options{}, model)
 	if err != nil {
 		return err
 	}

@@ -135,7 +135,7 @@ func main() {
 
 	// What if the operator had kept the old static plan? Evaluate the old
 	// rates under the new routing/loads within the same budget envelope.
-	oldRho := netsamp.EffectiveRates(matrix, before, false)
+	oldRho := netsamp.EffectiveRates(matrix, before, nil)
 	worst := 1.0
 	for k, rho := range oldRho {
 		u, err := netsamp.NewSRE(1 / (rates[k] * eval.Interval))

@@ -59,7 +59,7 @@ func AccessLink(m *routing.Matrix, loads []float64, link topology.LinkID, budget
 	return &Assignment{
 		Name:  "access-link",
 		Rates: rates,
-		Rho:   plan.EffectiveRates(m, rates, false),
+		Rho:   plan.EffectiveRates(m, rates, nil),
 	}, nil
 }
 
@@ -87,7 +87,7 @@ func Restricted(name string, in plan.Input, opt core.Options) (*Assignment, *cor
 	return &Assignment{
 		Name:  name,
 		Rates: rates,
-		Rho:   plan.EffectiveRates(in.Matrix, rates, in.Exact),
+		Rho:   plan.EffectiveRates(in.Matrix, rates, in.Model),
 	}, sol, nil
 }
 
@@ -116,7 +116,7 @@ func Uniform(m *routing.Matrix, loads []float64, candidates []topology.LinkID, b
 	return &Assignment{
 		Name:  "uniform",
 		Rates: rates,
-		Rho:   plan.EffectiveRates(m, rates, false),
+		Rho:   plan.EffectiveRates(m, rates, nil),
 	}, nil
 }
 
@@ -233,7 +233,7 @@ func TwoPhaseGreedy(m *routing.Matrix, loads []float64, candidates []topology.Li
 	return &Assignment{
 		Name:  "two-phase-greedy",
 		Rates: rates,
-		Rho:   plan.EffectiveRates(m, rates, false),
+		Rho:   plan.EffectiveRates(m, rates, nil),
 	}, nil
 }
 
@@ -257,7 +257,7 @@ func FixedRate(m *routing.Matrix, loads []float64, candidates []topology.LinkID,
 	return &Assignment{
 		Name:  "fixed-rate",
 		Rates: rates,
-		Rho:   plan.EffectiveRates(m, rates, false),
+		Rho:   plan.EffectiveRates(m, rates, nil),
 	}, nil
 }
 

@@ -54,6 +54,11 @@ type Options struct {
 	// re-optimization and the controller falls back to its last good
 	// plan instead of blocking the deployment loop.
 	SolveTimeout time.Duration
+	// Model selects the effective-rate model every interval optimizes
+	// under (nil = core.ModelLinear). It is part of the controller's
+	// identity: snapshots record it and Restore rejects state solved
+	// under a different model, keeping warm starts bitwise-deterministic.
+	Model core.RateModel
 	// Solve carries the inner solver options.
 	Solve core.Options
 }
@@ -310,6 +315,7 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 			Candidates:   cands,
 			InvMeanSizes: inv,
 			Budget:       c.opts.Budget,
+			Model:        c.opts.Model,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,71 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"netsamp/internal/core"
+	"netsamp/internal/topology"
+)
+
+// TestStateModelRoundTrip: the rate model name survives the binary
+// encoding, including the implicit "linear" default.
+func TestStateModelRoundTrip(t *testing.T) {
+	for _, name := range []string{"linear", "independent-exact", "coordinated"} {
+		st := State{
+			Active:    []topology.LinkID{2},
+			EWMALoads: []float64{100},
+			Steps:     1,
+			Model:     name,
+		}
+		blob, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back State
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if back.Model != name {
+			t.Fatalf("model %q decoded as %q", name, back.Model)
+		}
+	}
+}
+
+// TestSnapshotStampsModel: the controller records the model it solves
+// under, so a restore into a differently-configured controller fails
+// loudly instead of silently reinterpreting the solved rates.
+func TestSnapshotStampsModel(t *testing.T) {
+	lin, err := New(Options{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lin.Snapshot().Model; got != "linear" {
+		t.Fatalf("default controller stamps %q", got)
+	}
+	coord, err := New(Options{Budget: 1, Model: core.ModelCoordinated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Snapshot().Model; got != "coordinated" {
+		t.Fatalf("coordinated controller stamps %q", got)
+	}
+
+	// Cross-model restore is rejected in both directions.
+	if err := coord.Restore(lin.Snapshot()); err == nil {
+		t.Fatal("coordinated controller restored a linear snapshot")
+	} else if !strings.Contains(err.Error(), "rate model") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+	if err := lin.Restore(coord.Snapshot()); err == nil {
+		t.Fatal("linear controller restored a coordinated snapshot")
+	}
+	// A pre-model (empty) stamp restores into the default controller
+	// only — it predates non-linear options.
+	if err := lin.Restore(State{}); err != nil {
+		t.Fatalf("legacy empty-model state rejected by linear controller: %v", err)
+	}
+	if err := coord.Restore(State{}); err == nil {
+		t.Fatal("legacy empty-model state accepted by coordinated controller")
+	}
+}

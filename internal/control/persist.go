@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"netsamp/internal/core"
 	"netsamp/internal/plan"
 	"netsamp/internal/state"
 	"netsamp/internal/topology"
@@ -28,10 +29,18 @@ type State struct {
 	Fallbacks int
 	LastGood  map[topology.LinkID]float64
 	Probation map[topology.LinkID]int
+	// Model is the rate-model identity (core.ModelName) the state was
+	// solved under. Restore rejects a mismatch with the restoring
+	// controller's configured model: last-good rates from another model
+	// would silently perturb the warm-start trajectory. Empty means
+	// unrecorded (hand-built states) and matches any model.
+	Model string
 }
 
-// controllerStateVersion stamps the State binary encoding.
-const controllerStateVersion = 1
+// controllerStateVersion stamps the State binary encoding. Version 2
+// added the rate-model identity; version-1 payloads are rejected (the
+// daemon's corrupt-snapshot fallback restarts cold, which is safe).
+const controllerStateVersion = 2
 
 // Snapshot captures the controller's cross-interval state (deep copies;
 // later steps do not mutate the snapshot).
@@ -39,6 +48,7 @@ func (c *Controller) Snapshot() State {
 	st := State{
 		Steps:     c.steps,
 		Fallbacks: c.fallbacks,
+		Model:     core.ModelName(c.opts.Model),
 	}
 	if c.active != nil {
 		st.Active = append([]topology.LinkID{}, c.active...)
@@ -65,6 +75,15 @@ func (c *Controller) Snapshot() State {
 func (c *Controller) Restore(st State) error {
 	if st.Steps < 0 || st.Fallbacks < 0 || st.Fallbacks > st.Steps {
 		return fmt.Errorf("control: restore: %d fallbacks over %d steps", st.Fallbacks, st.Steps)
+	}
+	// An unstamped (pre-versioning or hand-built) state was implicitly
+	// solved under the linear model.
+	stateModel := st.Model
+	if stateModel == "" {
+		stateModel = "linear"
+	}
+	if stateModel != core.ModelName(c.opts.Model) {
+		return fmt.Errorf("control: restore: state solved under rate model %s, controller runs %s", stateModel, core.ModelName(c.opts.Model))
 	}
 	// Sorted iteration keeps the reported error deterministic when more
 	// than one entry is invalid.
@@ -140,6 +159,7 @@ func (s State) MarshalBinary() ([]byte, error) {
 		e.I64(int64(lid))
 		e.I64(int64(s.Probation[lid]))
 	}
+	e.Bytes([]byte(s.Model))
 	return e.Data(), nil
 }
 
@@ -181,5 +201,6 @@ func (s *State) UnmarshalBinary(b []byte) error {
 			s.Probation[lid] = int(d.I64())
 		}
 	}
+	s.Model = string(d.Bytes())
 	return d.Finish()
 }

@@ -23,7 +23,7 @@ func TestValidateFractions(t *testing.T) {
 		func(p *Problem) { p.Pairs[0].Fracs = []float64{0.5} },      // length
 		func(p *Problem) { p.Pairs[0].Fracs = []float64{0, 0.5} },   // zero
 		func(p *Problem) { p.Pairs[0].Fracs = []float64{1.5, 0.5} }, // > 1
-		func(p *Problem) { p.Exact = true },                         // exact + fractions
+		func(p *Problem) { p.Model = ModelIndependentExact },        // exact + fractions
 	}
 	for i, mutate := range cases {
 		p := good()

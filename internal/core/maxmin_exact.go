@@ -28,8 +28,9 @@ type Inverter interface {
 // small linear program (internal/lp).
 //
 // This is the certified counterpart of the SolveMaxMin heuristic; it
-// requires the approximate rate model (Problem.Exact = false) and
-// utilities implementing Inverter. Budget left over at the optimal
+// requires an additive rate model (ModelLinear or ModelCoordinated —
+// the LP rows are only linear in the rates then) and utilities
+// implementing Inverter. Budget left over at the optimal
 // target is spent waterfilling the remaining link capacity, so the
 // returned solution satisfies the budget with equality without lowering
 // any utility.
@@ -37,8 +38,8 @@ func SolveMaxMinExact(p *Problem, tol float64) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if p.Exact {
-		return nil, fmt.Errorf("core: SolveMaxMinExact requires the linear rate model")
+	if !p.model().Additive() {
+		return nil, fmt.Errorf("core: SolveMaxMinExact requires an additive rate model, not %s", p.model().Name())
 	}
 	if tol <= 0 {
 		tol = 1e-9

@@ -146,7 +146,7 @@ func TestSolveMaxMinExactRejects(t *testing.T) {
 	p := &Problem{
 		Loads:  []float64{100},
 		Budget: 1,
-		Exact:  true,
+		Model:  ModelIndependentExact,
 		Pairs:  []Pair{{Name: "a", Links: []int{0}, Utility: MustSRE(0.01)}},
 	}
 	if _, err := SolveMaxMinExact(p, 0); err == nil {

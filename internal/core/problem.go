@@ -49,11 +49,19 @@ type Problem struct {
 	Budget float64
 	// Pairs is the measurement task F.
 	Pairs []Pair
-	// Exact selects the exact effective-rate model (1):
-	// ρ_k = 1 − Π(1−p_i). The default (false) is the paper's working
-	// approximation (7): ρ_k = Σ r_ki·p_i, valid for the low rates and
-	// short monitored paths the optimum exhibits (Section IV-B).
-	Exact bool
+	// Model selects the effective-rate model. Nil means ModelLinear, the
+	// paper's working approximation (7): ρ_k = Σ r_ki·p_i, valid for the
+	// low rates and short monitored paths the optimum exhibits
+	// (Section IV-B). See RateModel for the alternatives.
+	Model RateModel
+}
+
+// model returns the effective rate model, defaulting to ModelLinear.
+func (p *Problem) model() RateModel {
+	if p.Model == nil {
+		return ModelLinear
+	}
+	return p.Model
 }
 
 // BudgetPerInterval converts a budget of θ sampled packets per
@@ -138,8 +146,8 @@ func (p *Problem) Validate() error {
 			if len(pr.Fracs) != len(pr.Links) {
 				return fmt.Errorf("core: pair %d (%q) has %d fractions for %d links", k, pr.Name, len(pr.Fracs), len(pr.Links))
 			}
-			if p.Exact {
-				return fmt.Errorf("core: pair %d (%q): the exact rate model requires single-path routing (no fractions)", k, pr.Name)
+			if !p.model().SupportsFracs() {
+				return fmt.Errorf("core: pair %d (%q): the %s rate model requires single-path routing (no fractions)", k, pr.Name, p.model().Name())
 			}
 			for i, f := range pr.Fracs {
 				if !(f > 0 && f <= 1) {
@@ -152,33 +160,33 @@ func (p *Problem) Validate() error {
 }
 
 // EffectiveRates returns ρ_k for every pair at the rate vector rates,
-// using the model selected by p.Exact.
+// under the problem's rate model (the solver-side surrogate; apply
+// Model.Deployed for the realized inclusion probability).
 func (p *Problem) EffectiveRates(rates []float64) []float64 {
 	out := make([]float64, len(p.Pairs))
-	for k := range p.Pairs {
-		out[k] = p.effectiveRate(k, rates)
-	}
+	p.EffectiveRatesInto(out, rates)
 	return out
 }
 
+// EffectiveRatesInto writes ρ_k for every pair at the rate vector rates
+// into dst, which must have length len(p.Pairs). It is the
+// allocation-free form of EffectiveRates for per-interval loops that
+// reuse one destination buffer.
+//netsamp:noalloc
+func (p *Problem) EffectiveRatesInto(dst, rates []float64) {
+	if len(dst) != len(p.Pairs) {
+		panic("core: EffectiveRatesInto destination length mismatch")
+	}
+	m := p.model()
+	for k := range p.Pairs {
+		pr := &p.Pairs[k]
+		dst[k] = m.pairRho(pr.Links, pr.Fracs, rates)
+	}
+}
+
 func (p *Problem) effectiveRate(k int, rates []float64) float64 {
-	if p.Exact {
-		q := 1.0
-		for _, i := range p.Pairs[k].Links {
-			q *= 1 - rates[i]
-		}
-		return 1 - q
-	}
 	pr := &p.Pairs[k]
-	s := 0.0
-	for j, i := range pr.Links {
-		if pr.Fracs != nil {
-			s += pr.Fracs[j] * rates[i]
-		} else {
-			s += rates[i]
-		}
-	}
-	return s
+	return p.model().pairRho(pr.Links, pr.Fracs, rates)
 }
 
 // Objective returns Σ_k M_k(ρ_k(rates)).
@@ -196,72 +204,26 @@ func (p *Problem) Gradient(rates, out []float64) {
 	for i := range out {
 		out[i] = 0
 	}
+	m := p.model()
 	for k := range p.Pairs {
 		pr := &p.Pairs[k]
-		rho := p.effectiveRate(k, rates)
+		rho := m.pairRho(pr.Links, pr.Fracs, rates)
 		d := pr.weight() * pr.Utility.Deriv(rho)
-		if p.Exact {
-			// ∂ρ_k/∂p_i = Π_{j≠i}(1−p_j) = (1−ρ_k)/(1−p_i).
-			for _, i := range pr.Links {
-				den := 1 - rates[i]
-				if den < 1e-12 {
-					den = 1e-12
-				}
-				out[i] += d * (1 - rho) / den
-			}
-		} else if pr.Fracs != nil {
-			for j, i := range pr.Links {
-				out[i] += d * pr.Fracs[j]
-			}
-		} else {
-			for _, i := range pr.Links {
-				out[i] += d
-			}
-		}
+		m.accumGrad(pr.Links, pr.Fracs, rates, rho, d, out)
 	}
 }
 
 // lineDerivs returns φ'(t) and φ”(t) for φ(t) = Objective(rates + t·s).
-// The solver's Newton line search needs both. In the exact model the
-// second derivative includes the curvature of ρ_k(t) itself.
+// The solver's Newton line search needs both; the per-pair terms come
+// from the rate model (the product model's second derivative includes
+// the curvature of ρ_k(t) itself).
 func (p *Problem) lineDerivs(rates, s []float64, t float64) (d1, d2 float64) {
+	m := p.model()
 	for k := range p.Pairs {
 		pr := &p.Pairs[k]
-		w := pr.weight()
-		if p.Exact {
-			g := 1.0
-			h := 0.0  // Σ s_i/(1−x_i)
-			h2 := 0.0 // Σ s_i²/(1−x_i)²
-			for _, i := range pr.Links {
-				x := 1 - rates[i] - t*s[i]
-				if x < 1e-12 {
-					x = 1e-12
-				}
-				g *= x
-				term := s[i] / x
-				h += term
-				h2 += term * term
-			}
-			rho := 1 - g
-			rp := g * h         // ρ'(t)
-			rpp := g*h2 - g*h*h // ρ''(t)
-			du := w * pr.Utility.Deriv(rho)
-			cu := w * pr.Utility.Curv(rho)
-			d1 += du * rp
-			d2 += cu*rp*rp + du*rpp
-		} else {
-			rho, q := 0.0, 0.0
-			for j, i := range pr.Links {
-				f := 1.0
-				if pr.Fracs != nil {
-					f = pr.Fracs[j]
-				}
-				rho += f * (rates[i] + t*s[i])
-				q += f * s[i]
-			}
-			d1 += w * pr.Utility.Deriv(rho) * q
-			d2 += w * pr.Utility.Curv(rho) * q * q
-		}
+		e1, e2 := m.lineTerms(pr.Links, pr.Fracs, rates, s, t, pr.Utility, pr.weight())
+		d1 += e1
+		d2 += e2
 	}
 	return d1, d2
 }

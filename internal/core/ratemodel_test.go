@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelByName(t *testing.T) {
+	cases := map[string]RateModel{
+		"linear":            ModelLinear,
+		"independent-exact": ModelIndependentExact,
+		"exact":             ModelIndependentExact, // legacy alias
+		"coordinated":       ModelCoordinated,
+	}
+	for name, want := range cases {
+		got, err := ModelByName(name)
+		if err != nil || got != want {
+			t.Errorf("ModelByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ModelByName("quantum"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if ModelName(nil) != "linear" {
+		t.Errorf("ModelName(nil) = %q", ModelName(nil))
+	}
+	if ModelName(ModelCoordinated) != "coordinated" {
+		t.Errorf("ModelName(coordinated) = %q", ModelName(ModelCoordinated))
+	}
+}
+
+func TestModelProperties(t *testing.T) {
+	if !ModelLinear.Additive() || !ModelCoordinated.Additive() || ModelIndependentExact.Additive() {
+		t.Fatal("Additive flags wrong")
+	}
+	if !ModelLinear.SupportsFracs() || !ModelCoordinated.SupportsFracs() || ModelIndependentExact.SupportsFracs() {
+		t.Fatal("SupportsFracs flags wrong")
+	}
+	// Deployed: identity for linear/exact, clamp at 1 for coordinated.
+	for _, rho := range []float64{0, 0.3, 1, 1.7} {
+		if ModelLinear.Deployed(rho) != rho || ModelIndependentExact.Deployed(rho) != rho {
+			t.Fatalf("Deployed(%v) not identity", rho)
+		}
+	}
+	if ModelCoordinated.Deployed(0.4) != 0.4 || ModelCoordinated.Deployed(1.7) != 1 {
+		t.Fatal("coordinated Deployed clamp wrong")
+	}
+}
+
+// TestCoordinatedSolvesBitwiseAsLinear: the coordinated model's solver-
+// side surrogate is the same additive form as the linear model, so the
+// whole optimization trajectory — rates, rho, objective, iteration
+// count — must be bitwise identical. Only deployment semantics differ.
+func TestCoordinatedSolvesBitwiseAsLinear(t *testing.T) {
+	mk := func(m RateModel) *Problem {
+		return &Problem{
+			Loads:  []float64{30000, 8000, 2000, 500},
+			Budget: 60,
+			Model:  m,
+			Pairs: []Pair{
+				{Name: "a", Links: []int{0, 1}, Utility: MustSRE(0.002)},
+				{Name: "b", Links: []int{1, 2}, Utility: MustSRE(0.001)},
+				{Name: "c", Links: []int{3}, Utility: MustSRE(0.003)},
+			},
+		}
+	}
+	lin, err := Solve(mk(ModelLinear), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Solve(mk(ModelCoordinated), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Objective != coord.Objective || lin.Lambda != coord.Lambda {
+		t.Fatalf("objective/lambda differ: (%v, %v) vs (%v, %v)",
+			lin.Objective, lin.Lambda, coord.Objective, coord.Lambda)
+	}
+	if lin.Stats.Iterations != coord.Stats.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", lin.Stats.Iterations, coord.Stats.Iterations)
+	}
+	for i := range lin.Rates {
+		if lin.Rates[i] != coord.Rates[i] {
+			t.Fatalf("rate %d differs: %v vs %v", i, lin.Rates[i], coord.Rates[i])
+		}
+	}
+	for k := range lin.Rho {
+		if lin.Rho[k] != coord.Rho[k] {
+			t.Fatalf("rho %d differs: %v vs %v", k, lin.Rho[k], coord.Rho[k])
+		}
+	}
+}
+
+// TestNilModelIsLinear: the zero-value Problem solves under the linear
+// model, bitwise equal to requesting it explicitly.
+func TestNilModelIsLinear(t *testing.T) {
+	mk := func(m RateModel) *Problem {
+		return &Problem{
+			Loads:  []float64{10000, 3000},
+			Budget: 20,
+			Model:  m,
+			Pairs: []Pair{
+				{Name: "a", Links: []int{0, 1}, Utility: MustSRE(0.002)},
+				{Name: "b", Links: []int{1}, Utility: MustSRE(0.001)},
+			},
+		}
+	}
+	def, err := Solve(mk(nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Solve(mk(ModelLinear), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def.Rates {
+		if def.Rates[i] != lin.Rates[i] {
+			t.Fatalf("rate %d differs: %v vs %v", i, def.Rates[i], lin.Rates[i])
+		}
+	}
+}
+
+// TestEffectiveRatesInto: the zero-alloc path must agree exactly with
+// EffectiveRates under every model and reject a bad destination.
+func TestEffectiveRatesInto(t *testing.T) {
+	for _, m := range []RateModel{nil, ModelLinear, ModelIndependentExact, ModelCoordinated} {
+		p := &Problem{
+			Loads:  []float64{1000, 2000, 500},
+			Budget: 5,
+			Model:  m,
+			Pairs: []Pair{
+				{Name: "a", Links: []int{0, 1}, Utility: MustSRE(0.002)},
+				{Name: "b", Links: []int{2}, Utility: MustSRE(0.001)},
+			},
+		}
+		rates := []float64{0.4, 0.8, 0.1}
+		want := p.EffectiveRates(rates)
+		dst := make([]float64, len(p.Pairs))
+		p.EffectiveRatesInto(dst, rates)
+		for k := range want {
+			if dst[k] != want[k] {
+				t.Fatalf("model %s pair %d: %v vs %v", ModelName(m), k, dst[k], want[k])
+			}
+		}
+		// The sum for additive models can exceed 1; the product model
+		// cannot. Sanity-pin both shapes.
+		if m == ModelIndependentExact {
+			if want[0] != 1-(1-0.4)*(1-0.8) {
+				t.Fatalf("product rho = %v", want[0])
+			}
+		} else if want[0] != float64(0.4)+float64(0.8) {
+			t.Fatalf("additive rho = %v", want[0])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	p := &Problem{Loads: []float64{1}, Budget: 1, Pairs: []Pair{{Name: "a", Links: []int{0}, Utility: MustSRE(0.01)}}}
+	p.EffectiveRatesInto(make([]float64, 2), []float64{0.1})
+}
+
+// TestExactModelSolverAgreesWithProblemSurface: the CSR hooks the
+// compiled Solver uses must produce the same gradient as the Problem-
+// layer hooks (they share the model implementation, but the indexing
+// differs).
+func TestExactModelGradientConsistency(t *testing.T) {
+	p := &Problem{
+		Loads:  []float64{30000, 8000, 2000},
+		Budget: 40,
+		Model:  ModelIndependentExact,
+		Pairs: []Pair{
+			{Name: "a", Links: []int{0, 1}, Utility: MustSRE(0.002)},
+			{Name: "b", Links: []int{1, 2}, Utility: MustSRE(0.001)},
+		},
+	}
+	s, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sol Solution
+	if err := s.SolveInto(&sol, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Rates {
+		if math.Abs(sol.Rates[i]-direct.Rates[i]) > 1e-12 {
+			t.Fatalf("rate %d: solver %v vs direct %v", i, sol.Rates[i], direct.Rates[i])
+		}
+	}
+}

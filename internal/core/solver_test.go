@@ -407,7 +407,7 @@ func TestSolveExactModelAgreesAtLowRates(t *testing.T) {
 		return &Problem{
 			Loads:  []float64{30000, 8000, 2000, 500},
 			Budget: 60,
-			Exact:  exact,
+			Model:  modelForExact(exact),
 			Pairs: []Pair{
 				{Name: "a", Links: []int{0, 1}, Utility: MustSRE(0.002)},
 				{Name: "b", Links: []int{1, 2}, Utility: MustSRE(0.001)},

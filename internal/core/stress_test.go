@@ -202,7 +202,7 @@ func TestSolveExactModelRandomKKT(t *testing.T) {
 	r := rng.New(777)
 	for trial := 0; trial < 30; trial++ {
 		nLinks := 2 + r.Intn(8)
-		p := &Problem{Loads: make([]float64, nLinks), Exact: true}
+		p := &Problem{Loads: make([]float64, nLinks), Model: ModelIndependentExact}
 		total := 0.0
 		for i := range p.Loads {
 			p.Loads[i] = 50 + 20000*r.Float64()

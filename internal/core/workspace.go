@@ -15,7 +15,7 @@ import (
 //
 // A Solver is not safe for concurrent use; run one Solver per worker
 // (internal/engine gives each job its own). The Problem's structure
-// (pair count, link rows, fractions, Exact flag) must not change after
+// (pair count, link rows, fractions, rate model) must not change after
 // NewSolver; numeric re-tuning between solves is supported through
 // SetWeights, SetBudget, SetLoads and SetUtilities. The Solver owns a
 // private copy of the Problem's numeric fields, so re-tuning never
@@ -28,6 +28,8 @@ type Solver struct {
 	// can re-tune in place without touching the caller's Problem.
 	prob   Problem
 	p      *Problem
+	// model is the resolved effective-rate model (never nil).
+	model  RateModel
 	n      int // candidate links
 	nPairs int
 	// maxSampled caches Σ α_i·U_i under the current loads — the budget
@@ -65,7 +67,7 @@ func NewSolver(p *Problem) (*Solver, error) {
 			MaxRate: p.MaxRate,
 			Budget:  p.Budget,
 			Pairs:   append([]Pair(nil), p.Pairs...),
-			Exact:   p.Exact,
+			Model:   p.Model,
 		},
 		n:      n,
 		nPairs: len(p.Pairs),
@@ -84,6 +86,7 @@ func NewSolver(p *Problem) (*Solver, error) {
 		freePos: make([]int32, n),
 	}
 	s.p = &s.prob
+	s.model = s.prob.model()
 	for i, u := range s.prob.Loads {
 		s.maxSampled += s.prob.alpha(i) * u
 	}
@@ -393,13 +396,15 @@ func (s *Solver) SolveInto(sol *Solution, opt Options) error {
 // written into out (zero on pinned coordinates) and newtonInto reports
 // true; the caller still clamps it to the box and line-searches along
 // it, so a poor step degrades to a short move, never an infeasible one.
-// Falls out (returning false) for the exact rate model, a singular
+// Falls out (returning false) for non-additive rate models, a singular
 // system, or a numerically non-ascent direction.
 //netsamp:noalloc
 func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
-	if s.p.Exact {
-		// The exact model's Hessian has off-diagonal coupling terms from
-		// ∂²ρ/∂p_i∂p_j; not worth the complexity for the ablation model.
+	if !s.model.Additive() {
+		// The product model's Hessian has off-diagonal coupling terms
+		// from ∂²ρ/∂p_i∂p_j; not worth the complexity for the ablation
+		// model. The Hessian assembly below (c·f_a·f_b per pair) is exact
+		// for every additive model.
 		return false
 	}
 	p := s.p
@@ -527,29 +532,22 @@ func solveDenseInPlace(a, b []float64, m int) bool {
 	return true
 }
 
+// csrFracs returns pair row [lo, hi)'s fraction subslice, or nil when
+// no pair carries ECMP fractions. Subslicing never allocates.
+//netsamp:noalloc
+func (s *Solver) csrFracs(lo, hi int32) []float64 {
+	if s.fracs == nil {
+		return nil
+	}
+	return s.fracs[lo:hi]
+}
+
 // rho returns the effective sampling rate of pair k at rates, from the
 // compiled incidence.
 //netsamp:noalloc
 func (s *Solver) rho(k int, rates []float64) float64 {
 	lo, hi := s.start[k], s.start[k+1]
-	if s.p.Exact {
-		q := 1.0
-		for j := lo; j < hi; j++ {
-			q *= 1 - rates[s.links[j]]
-		}
-		return 1 - q
-	}
-	sum := 0.0
-	if s.fracs != nil {
-		for j := lo; j < hi; j++ {
-			sum += s.fracs[j] * rates[s.links[j]]
-		}
-	} else {
-		for j := lo; j < hi; j++ {
-			sum += rates[s.links[j]]
-		}
-	}
-	return sum
+	return s.model.pairRhoCSR(s.links[lo:hi], s.csrFracs(lo, hi), rates)
 }
 
 // gradient writes ∂/∂p_i Σ_k w_k·M_k(ρ_k) into out.
@@ -558,30 +556,12 @@ func (s *Solver) gradient(rates, out []float64) {
 	for i := range out {
 		out[i] = 0
 	}
-	exact := s.p.Exact
 	for k := 0; k < s.nPairs; k++ {
 		lo, hi := s.start[k], s.start[k+1]
-		rho := s.rho(k, rates)
+		links, fracs := s.links[lo:hi], s.csrFracs(lo, hi)
+		rho := s.model.pairRhoCSR(links, fracs, rates)
 		d := s.wts[k] * s.utils[k].Deriv(rho)
-		if exact {
-			// ∂ρ_k/∂p_i = Π_{j≠i}(1−p_j) = (1−ρ_k)/(1−p_i).
-			for j := lo; j < hi; j++ {
-				i := s.links[j]
-				den := 1 - rates[i]
-				if den < 1e-12 {
-					den = 1e-12
-				}
-				out[i] += d * (1 - rho) / den
-			}
-		} else if s.fracs != nil {
-			for j := lo; j < hi; j++ {
-				out[s.links[j]] += d * s.fracs[j]
-			}
-		} else {
-			for j := lo; j < hi; j++ {
-				out[s.links[j]] += d
-			}
-		}
+		s.model.accumGradCSR(links, fracs, rates, rho, d, out)
 	}
 }
 
@@ -589,54 +569,20 @@ func (s *Solver) gradient(rates, out []float64) {
 // over the compiled incidence (see Problem.lineDerivs for the math).
 //netsamp:noalloc
 func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
-	exact := s.p.Exact
 	for k := 0; k < s.nPairs; k++ {
 		lo, hi := s.start[k], s.start[k+1]
-		w := s.wts[k]
-		if exact {
-			g := 1.0
-			h := 0.0  // Σ s_i/(1−x_i)
-			h2 := 0.0 // Σ s_i²/(1−x_i)²
-			for j := lo; j < hi; j++ {
-				i := s.links[j]
-				x := 1 - rates[i] - t*dir[i]
-				if x < 1e-12 {
-					x = 1e-12
-				}
-				g *= x
-				term := dir[i] / x
-				h += term
-				h2 += term * term
-			}
-			rho := 1 - g
-			rp := g * h         // ρ'(t)
-			rpp := g*h2 - g*h*h // ρ''(t)
-			du := w * s.utils[k].Deriv(rho)
-			cu := w * s.utils[k].Curv(rho)
-			d1 += du * rp
-			d2 += cu*rp*rp + du*rpp
-		} else {
-			rho, q := 0.0, 0.0
-			for j := lo; j < hi; j++ {
-				i := s.links[j]
-				f := 1.0
-				if s.fracs != nil {
-					f = s.fracs[j]
-				}
-				rho += f * (rates[i] + t*dir[i])
-				q += f * dir[i]
-			}
-			d1 += w * s.utils[k].Deriv(rho) * q
-			d2 += w * s.utils[k].Curv(rho) * q * q
-		}
+		e1, e2 := s.model.lineTermsCSR(s.links[lo:hi], s.csrFracs(lo, hi), rates, dir, t, s.utils[k], s.wts[k])
+		d1 += e1
+		d2 += e2
 	}
 	return d1, d2
 }
 
 // lineSearch maximizes φ(t) = Objective(rates + t·dir) over [0, tMax].
-// See the package solver notes: φ is concave along dir under the linear
-// rate model, so φ' is decreasing; safeguarded Newton with a bisection
-// fallback keeps the bracket valid even under the exact rate model.
+// See the package solver notes: φ is concave along dir under the
+// additive rate models, so φ' is decreasing; safeguarded Newton with a
+// bisection fallback keeps the bracket valid even under the product
+// rate model.
 // newtonDir marks dir as a Newton-KKT step, whose natural length is 1 —
 // starting there instead of the bracket midpoint saves most of the
 // search when the quadratic model is accurate.

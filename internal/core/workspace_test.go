@@ -8,11 +8,19 @@ import (
 	"netsamp/internal/rng"
 )
 
+// modelForExact maps the tests' historical exact flag to a rate model.
+func modelForExact(exact bool) RateModel {
+	if exact {
+		return ModelIndependentExact
+	}
+	return nil
+}
+
 // wsRandomProblem builds a randomized feasible instance for the
 // workspace tests (same regime as the stress tests).
 func wsRandomProblem(seed uint64, nLinks, nPairs int, exact bool) *Problem {
 	r := rng.New(seed)
-	p := &Problem{Loads: make([]float64, nLinks), Exact: exact}
+	p := &Problem{Loads: make([]float64, nLinks), Model: modelForExact(exact)}
 	total := 0.0
 	for i := range p.Loads {
 		p.Loads[i] = math.Pow(10, 2+3*r.Float64())

@@ -134,7 +134,7 @@ func DegradationStudy(ctx context.Context, s *geant.Scenario, cfg DegradeConfig)
 		return nil, fmt.Errorf("eval: degrade: %w", err)
 	}
 	naivePlan := plan.RatesByLink(sol, s.MonitorLinks)
-	naiveBelieved := plan.EffectiveRates(s.Matrix, naivePlan, false)
+	naiveBelieved := plan.EffectiveRates(s.Matrix, naivePlan, nil)
 
 	type gridPoint struct{ fail, loss float64 }
 	var grid []gridPoint
@@ -233,12 +233,12 @@ func simulateDegradePoint(s *geant.Scenario, fp *faults.Plan, r *rng.Source, in 
 			}
 			return out
 		}
-		naiveAchieved := plan.EffectiveRates(s.Matrix, restrict(in.naivePlan), false)
-		gracefulAchieved := plan.EffectiveRates(s.Matrix, restrict(d.Plan), false)
+		naiveAchieved := plan.EffectiveRates(s.Matrix, restrict(in.naivePlan), nil)
+		gracefulAchieved := plan.EffectiveRates(s.Matrix, restrict(d.Plan), nil)
 		// The graceful operator renormalizes by what it believes it
 		// deployed; with in-interval detection the plan already excludes
 		// the dead monitors, so belief tracks the wire.
-		gracefulBelieved := plan.EffectiveRates(s.Matrix, d.Plan, false)
+		gracefulBelieved := plan.EffectiveRates(s.Matrix, d.Plan, nil)
 
 		// Sampling experiment: binomial thinning at the achieved rate,
 		// then record loss on the export path. The graceful estimator

@@ -263,11 +263,12 @@ func DynamicStudyCtx(ctx context.Context, s *geant.Scenario, intervals int, thet
 	res := &DynamicResult{MinStaticWorst: math.Inf(1), MinDynamicWorst: math.Inf(1)}
 	staticPlan := plans[0]
 	var prevDynamic map[topology.LinkID]float64
+	rho := make([]float64, len(s.Pairs))
 	for t := 0; t < intervals; t++ {
 		w := &worlds[t]
 		dynamicPlan := plans[t]
 		evaluate := func(assign map[topology.LinkID]float64) (obj, worst float64) {
-			rho := plan.EffectiveRates(w.matrix, assign, false)
+			plan.EffectiveRatesInto(rho, w.matrix, assign, nil)
 			worst = math.Inf(1)
 			for k := range rho {
 				u := core.MustSRE(w.inv[k]).Value(rho[k])

@@ -30,6 +30,11 @@ type Config struct {
 	// MaxEntries bounds the table; when full, observing a new flow
 	// evicts and exports the oldest-started entry (0 means unbounded).
 	MaxEntries int
+	// Coordination optionally enables cSamp-style coordinated sampling:
+	// flows of measured OD pairs are hash-filtered to this monitor's
+	// assigned ranges before the sampling coin (see CoordConfig). Nil
+	// keeps the plain independent-sampling behavior.
+	Coordination *CoordConfig
 }
 
 // DefaultConfig mirrors the paper's GEANT configuration: 1/1000
@@ -80,7 +85,18 @@ func (ft *FlowTable) Observe(key packet.FiveTuple, bytes uint32, now uint32) (sa
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	ft.stats.ObservedPackets++
-	if !ft.rng.Bernoulli(ft.cfg.SamplingRate) {
+	rate := ft.cfg.SamplingRate
+	if cc := ft.cfg.Coordination; cc != nil {
+		// Hash filter first: a measured flow outside this monitor's
+		// range belongs to another monitor on the path and must not be
+		// double-sampled here.
+		r, consider := cc.Decide(key, rate)
+		if !consider {
+			return false, nil
+		}
+		rate = r
+	}
+	if !ft.rng.Bernoulli(rate) {
 		return false, nil
 	}
 	ft.stats.SampledPackets++

@@ -24,7 +24,8 @@ type Compiled struct {
 	solver *core.Solver
 	index  map[topology.LinkID]int
 	cands  []topology.LinkID
-	exact  bool
+	// model is the compiled rate model's identity (core.ModelName).
+	model string
 
 	// inv holds the InvMeanSizes the per-pair SRE utilities were built
 	// from; Retune rebuilds utilities only when these change.
@@ -51,7 +52,7 @@ func Compile(in Input) (*Compiled, error) {
 		solver:     solver,
 		index:      index,
 		cands:      append([]topology.LinkID(nil), in.Candidates...),
-		exact:      in.Exact,
+		model:      core.ModelName(in.Model),
 		inv:        append([]float64(nil), in.InvMeanSizes...),
 		denseLoads: make([]float64, len(in.Candidates)),
 	}, nil
@@ -76,8 +77,8 @@ func (c *Compiled) Candidates() []topology.LinkID { return c.cands }
 // routing-matrix rows, candidate set and rate model (a Cache keys on
 // exactly that identity). Re-validation is limited to what changed.
 func (c *Compiled) Retune(in Input) error {
-	if in.Exact != c.exact {
-		return fmt.Errorf("plan: retune changes the rate model (structure change; recompile)")
+	if core.ModelName(in.Model) != c.model {
+		return fmt.Errorf("plan: retune changes the rate model %s -> %s (structure change; recompile)", c.model, core.ModelName(in.Model))
 	}
 	if len(in.Candidates) != len(c.cands) {
 		return fmt.Errorf("plan: retune with %d candidates for a %d-candidate compile (structure change; recompile)", len(in.Candidates), len(c.cands))
@@ -155,12 +156,13 @@ func (c *Compiled) Retune(in Input) error {
 
 // cacheKey is the problem identity a Cache memoizes on: the routing
 // matrix (by pointer — rebuilding a matrix signals a routing change),
-// the candidate-set contents and the rate model. Everything else about
-// an Input is numeric re-tuning.
+// the candidate-set contents and the rate model's name (so two models
+// with the same matrix and candidates can never alias one compiled
+// plan). Everything else about an Input is numeric re-tuning.
 type cacheKey struct {
 	matrix *routing.Matrix
 	cands  string
-	exact  bool
+	model  string
 }
 
 func candsFingerprint(cands []topology.LinkID) string {
@@ -209,7 +211,7 @@ func (c *Cache) Get(in Input) (*Compiled, error) {
 	if in.Matrix == nil {
 		return nil, fmt.Errorf("plan: nil routing matrix")
 	}
-	key := cacheKey{matrix: in.Matrix, cands: candsFingerprint(in.Candidates), exact: in.Exact}
+	key := cacheKey{matrix: in.Matrix, cands: candsFingerprint(in.Candidates), model: core.ModelName(in.Model)}
 	c.mu.Lock()
 	ent := c.entries[key]
 	c.mu.Unlock()

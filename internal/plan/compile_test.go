@@ -91,7 +91,7 @@ func TestRetuneStructureChanges(t *testing.T) {
 		t.Fatal(err)
 	}
 	exact := base
-	exact.Exact = true
+	exact.Model = core.ModelIndependentExact
 	if err := comp.Retune(exact); err == nil {
 		t.Fatal("rate-model change accepted")
 	}
@@ -157,9 +157,9 @@ func TestCacheIdentity(t *testing.T) {
 		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", h, m)
 	}
 
-	// The exact flag is part of the identity.
+	// The rate model is part of the identity.
 	exact := base
-	exact.Exact = true
+	exact.Model = core.ModelIndependentExact
 	third, err := cache.Get(exact)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"netsamp/internal/packet"
+	"netsamp/internal/routing"
+	"netsamp/internal/topology"
+)
+
+// PairAssignment is the coordinated-sampling configuration of one OD
+// pair: which monitors own which hash ranges, and the coin the owner
+// applies to flows inside its range.
+//
+// The construction realizes the coordinated rate model's additive
+// surrogate S_k = Σ f_ki·p_i as an inclusion probability min(1, S_k):
+// the pair's flow-hash space is partitioned among its active monitors
+// with widths proportional to each monitor's share f_ki·p_i, and the
+// unique owner of a flow samples its packets with probability Coin =
+// min(1, S_k). A uniformly hashed flow is therefore included with
+// probability Σ_i (share_i/S_k)·Coin = min(1, S_k) — exactly the
+// coordinated model's Deployed(ρ_k) — while no packet is ever sampled
+// by two monitors (the budget buys coverage, not duplicates).
+type PairAssignment struct {
+	// Pair is the OD pair's name (routing.ODPair.Name).
+	Pair string
+	// Coin is the per-flow sampling probability the owning monitor
+	// applies: min(1, Σ f_ki·p_i). Zero when no monitor on the path has
+	// a positive rate (the pair is unmeasured).
+	Coin float64
+	// Links lists the pair's active monitors in path order; Ranges is
+	// the parallel hash-range assignment. The ranges partition the full
+	// 64-bit hash space exactly (see packet.PartitionHashSpace).
+	Links  []topology.LinkID
+	Ranges []packet.HashRange
+}
+
+// Coordination is the deterministic flow-space assignment derived from
+// a routing matrix and a deployed per-link rate assignment. Building it
+// is a pure function of (matrix, rates): the same inputs always yield
+// bitwise-identical ranges, so exporters configured independently from
+// the same plan agree on the partition.
+type Coordination struct {
+	// Assignments is indexed like the matrix's pairs.
+	Assignments []PairAssignment
+}
+
+// Coordinate derives the per-pair hash-range assignment for a deployed
+// rate assignment under the coordinated rate model. Monitors with zero
+// (or absent) rates own no range; a pair with no active monitor gets an
+// empty assignment with Coin 0.
+func Coordinate(m *routing.Matrix, rates map[topology.LinkID]float64) *Coordination {
+	c := &Coordination{Assignments: make([]PairAssignment, len(m.Pairs))}
+	for k := range m.Pairs {
+		a := &c.Assignments[k]
+		a.Pair = m.Pairs[k].Name
+		var shares []float64
+		total := 0.0
+		for j, lid := range m.Rows[k] {
+			p := rates[lid]
+			if p <= 0 {
+				continue
+			}
+			f := 1.0
+			if m.Fracs != nil && m.Fracs[k] != nil {
+				f = m.Fracs[k][j]
+			}
+			share := f * p
+			if share <= 0 {
+				continue
+			}
+			a.Links = append(a.Links, lid)
+			shares = append(shares, share)
+			total += share
+		}
+		if len(a.Links) == 0 {
+			continue
+		}
+		a.Coin = total
+		if a.Coin > 1 {
+			a.Coin = 1
+		}
+		a.Ranges = make([]packet.HashRange, len(shares))
+		packet.PartitionHashSpace(a.Ranges, shares)
+	}
+	return c
+}
+
+// MonitorConfig extracts the per-pair filter configuration of one
+// monitor: ranges[k] is the hash range link lid owns for pair k (the
+// canonical empty range when it owns none) and coins[k] the sampling
+// probability to apply inside it. The slices feed
+// netflow.CoordConfig directly.
+func (c *Coordination) MonitorConfig(lid topology.LinkID) (ranges []packet.HashRange, coins []float64) {
+	ranges = make([]packet.HashRange, len(c.Assignments))
+	coins = make([]float64, len(c.Assignments))
+	for k := range c.Assignments {
+		ranges[k] = packet.EmptyHashRange
+		a := &c.Assignments[k]
+		for j, l := range a.Links {
+			if l == lid {
+				ranges[k] = a.Ranges[j]
+				coins[k] = a.Coin
+				break
+			}
+		}
+	}
+	return ranges, coins
+}

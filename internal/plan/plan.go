@@ -29,10 +29,12 @@ type Input struct {
 	// Budget is θ as a sampled packet rate (use core.BudgetPerInterval).
 	Budget float64
 	// MaxRates optionally caps each candidate link's sampling rate α_i
-	// (nil = 1 everywhere, the paper's Table I setting).
+	// (nil = 1 everywhere, the paper's Table I setting). Every key must
+	// name a link in Candidates; Build rejects strays with a typed
+	// core.InputError rather than silently ignoring them.
 	MaxRates map[topology.LinkID]float64
-	// Exact selects the exact effective-rate model.
-	Exact bool
+	// Model selects the effective-rate model (nil = core.ModelLinear).
+	Model core.RateModel
 }
 
 // Build constructs the dense problem and the LinkID→dense-index map.
@@ -54,7 +56,7 @@ func Build(in Input) (*core.Problem, map[topology.LinkID]int, error) {
 	index := make(map[topology.LinkID]int, len(in.Candidates))
 	prob := &core.Problem{
 		Budget: in.Budget,
-		Exact:  in.Exact,
+		Model:  in.Model,
 	}
 	for _, lid := range in.Candidates {
 		if _, dup := index[lid]; dup {
@@ -71,10 +73,18 @@ func Build(in Input) (*core.Problem, map[topology.LinkID]int, error) {
 		for i := range prob.MaxRate {
 			prob.MaxRate[i] = 1
 		}
-		for lid, a := range in.MaxRates {
-			if i, ok := index[lid]; ok {
-				prob.MaxRate[i] = a
+		// Sorted iteration makes the first rejected stray deterministic.
+		for _, lid := range topology.SortedKeys(in.MaxRates) {
+			i, ok := index[lid]
+			if !ok {
+				return nil, nil, &core.InputError{
+					Field:  "max rate of link",
+					Index:  int(lid),
+					Value:  in.MaxRates[lid],
+					Reason: "link is not in Candidates (a cap on an unmonitorable link would be silently unenforceable)",
+				}
 			}
+			prob.MaxRate[i] = in.MaxRates[lid]
 		}
 	}
 	for k, pr := range in.Matrix.Pairs {
@@ -118,17 +128,30 @@ func RatesByLink(sol *core.Solution, candidates []topology.LinkID) map[topology.
 
 // EffectiveRates computes the per-pair effective sampling rate of an
 // arbitrary per-link rate assignment (not necessarily an optimizer
-// output), using the exact model when exact is true.
-func EffectiveRates(m *routing.Matrix, rates map[topology.LinkID]float64, exact bool) []float64 {
+// output) under the given rate model (nil = core.ModelLinear). The
+// result is the deployed inclusion probability: the model's Deployed
+// mapping is applied, which clamps the coordinated model's additive
+// surrogate at 1 (identity for the other models).
+func EffectiveRates(m *routing.Matrix, rates map[topology.LinkID]float64, model core.RateModel) []float64 {
 	out := make([]float64, len(m.Pairs))
+	EffectiveRatesInto(out, m, rates, model)
+	return out
+}
+
+// EffectiveRatesInto is EffectiveRates writing into dst (length
+// len(m.Pairs)) — the allocation-free form for per-interval loops.
+//netsamp:noalloc
+func EffectiveRatesInto(dst []float64, m *routing.Matrix, rates map[topology.LinkID]float64, model core.RateModel) {
+	if len(dst) != len(m.Pairs) {
+		panic("plan: EffectiveRatesInto destination length mismatch")
+	}
+	if model == nil {
+		model = core.ModelLinear
+	}
+	additive := model.Additive()
 	for k := range m.Pairs {
-		if exact {
-			q := 1.0
-			for _, lid := range m.Rows[k] {
-				q *= 1 - rates[lid]
-			}
-			out[k] = 1 - q
-		} else {
+		var rho float64
+		if additive {
 			s := 0.0
 			for j, lid := range m.Rows[k] {
 				f := 1.0
@@ -137,10 +160,16 @@ func EffectiveRates(m *routing.Matrix, rates map[topology.LinkID]float64, exact 
 				}
 				s += f * rates[lid]
 			}
-			out[k] = s
+			rho = s
+		} else {
+			q := 1.0
+			for _, lid := range m.Rows[k] {
+				q *= 1 - rates[lid]
+			}
+			rho = 1 - q
 		}
+		dst[k] = model.Deployed(rho)
 	}
-	return out
 }
 
 // SampledRate returns Σ p_i·U_i for a per-link assignment. The sum runs

@@ -118,7 +118,7 @@ func TestRoundTripSolveAndMapBack(t *testing.T) {
 	if got := SampledRate(rates, loads); math.Abs(got-15) > 1e-6 {
 		t.Fatalf("SampledRate = %v", got)
 	}
-	rho := EffectiveRates(m, rates, false)
+	rho := EffectiveRates(m, rates, nil)
 	for k := range rho {
 		if math.Abs(rho[k]-sol.Rho[k]) > 1e-12 {
 			t.Fatalf("rho mismatch pair %d: %v vs %v", k, rho[k], sol.Rho[k])
@@ -129,7 +129,7 @@ func TestRoundTripSolveAndMapBack(t *testing.T) {
 func TestEffectiveRatesExact(t *testing.T) {
 	_, m, _, cands := fixture(t)
 	rates := map[topology.LinkID]float64{cands[0]: 0.5, cands[1]: 0.5}
-	rho := EffectiveRates(m, rates, true)
+	rho := EffectiveRates(m, rates, core.ModelIndependentExact)
 	if math.Abs(rho[0]-0.75) > 1e-12 {
 		t.Fatalf("exact rho = %v, want 0.75", rho[0])
 	}
@@ -181,7 +181,7 @@ func TestECMPEndToEnd(t *testing.T) {
 		t.Fatal("ECMP solve did not converge")
 	}
 	rates := RatesByLink(sol, cands)
-	rho := EffectiveRates(m, rates, false)
+	rho := EffectiveRates(m, rates, nil)
 	if math.Abs(rho[0]-sol.Rho[0]) > 1e-12 {
 		t.Fatalf("rho mismatch: %v vs %v", rho[0], sol.Rho[0])
 	}

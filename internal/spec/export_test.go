@@ -25,7 +25,7 @@ func TestExportRoundTripGEANT(t *testing.T) {
 		t.Fatalf("re-parse failed: %v\n--- first lines ---\n%s",
 			err, head(b.String(), 12))
 	}
-	res, err := parsed.Solve(core.Options{}, false)
+	res, err := parsed.Solve(core.Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestExportRoundTripAbilene(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := parsed.Solve(core.Options{}, false)
+	res, err := parsed.Solve(core.Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -280,8 +280,9 @@ type Result struct {
 	Rates      map[topology.LinkID]float64
 }
 
-// Solve routes the scenario, builds the problem and runs the optimizer.
-func (s *Scenario) Solve(opt core.Options, exact bool) (*Result, error) {
+// Solve routes the scenario, builds the problem and runs the optimizer
+// under the given effective-rate model (nil = core.ModelLinear).
+func (s *Scenario) Solve(opt core.Options, model core.RateModel) (*Result, error) {
 	tbl := routing.ComputeTable(s.Graph)
 	matrix, err := routing.BuildMatrix(tbl, s.Pairs)
 	if err != nil {
@@ -311,7 +312,7 @@ func (s *Scenario) Solve(opt core.Options, exact bool) (*Result, error) {
 		InvMeanSizes: inv,
 		Budget:       core.BudgetPerInterval(s.Theta, s.Interval),
 		MaxRates:     s.MaxRates,
-		Exact:        exact,
+		Model:        model,
 	})
 	if err != nil {
 		return nil, err

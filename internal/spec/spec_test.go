@@ -97,7 +97,7 @@ func TestSolveSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve(core.Options{}, false)
+	res, err := s.Solve(core.Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ theta 3000
 		if err != nil {
 			t.Fatalf("%s: %v", u, err)
 		}
-		res, err := s.Solve(core.Options{}, false)
+		res, err := s.Solve(core.Options{}, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", u, err)
 		}
@@ -159,7 +159,7 @@ func TestSolveSpecExactModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve(core.Options{}, true)
+	res, err := s.Solve(core.Options{}, core.ModelIndependentExact)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,6 +122,26 @@ type (
 	MaxMinOptions = core.MaxMinOptions
 )
 
+// RateModel abstracts how per-link sampling rates combine into a pair's
+// effective sampling rate (value, gradient and line-search hooks). The
+// three implementations are package singletons below; a nil model in
+// Problem.Model or PlanInput.Model selects ModelLinear.
+type RateModel = core.RateModel
+
+// The rate models: the paper's additive working model (7), the exact
+// independent-sampling product model (1), and the cSamp-style
+// coordinated model (disjoint hash ranges make the additive form exact,
+// deployed as min(1, Σ f·p)).
+var (
+	ModelLinear           = core.ModelLinear
+	ModelIndependentExact = core.ModelIndependentExact
+	ModelCoordinated      = core.ModelCoordinated
+)
+
+// ModelByName resolves "linear", "exact" / "independent-exact", or
+// "coordinated" to its RateModel.
+var ModelByName = core.ModelByName
+
 // NewSRE builds the SRE utility for mean inverse OD size c = E[1/S].
 var NewSRE = core.NewSRE
 
@@ -149,12 +169,26 @@ var BuildProblem = plan.Build
 // RatesByLink maps a Solution's rates back to topology links.
 var RatesByLink = plan.RatesByLink
 
-// EffectiveRates computes per-pair effective sampling rates of any
-// per-link rate assignment.
+// EffectiveRates computes per-pair deployed effective sampling rates of
+// any per-link rate assignment under a rate model (nil = ModelLinear).
 var EffectiveRates = plan.EffectiveRates
 
 // SampledRate returns Σ p_i·U_i of a per-link assignment.
 var SampledRate = plan.SampledRate
+
+// Coordination surface: cSamp-style hash-range assignments that deploy
+// a coordinated plan on the netflow substrate.
+type (
+	// Coordination is the full coordinated-deployment assignment built
+	// from a solved plan (see plan.Coordinate).
+	Coordination = plan.Coordination
+	// PairAssignment is one OD pair's hash-space partition.
+	PairAssignment = plan.PairAssignment
+)
+
+// Coordinate partitions each pair's flow-hash space among the monitors
+// on its path, proportionally to their sampling effort.
+var Coordinate = plan.Coordinate
 
 // Continuation surface: solver workspaces reused across families of
 // related instances (θ-sweeps, successive measurement intervals).

@@ -59,7 +59,7 @@ func TestFacadeWorkflow(t *testing.T) {
 	if got := netsamp.SampledRate(rates, loads); math.Abs(got-10000.0/300) > 1e-6 {
 		t.Fatalf("sampled rate = %v", got)
 	}
-	rho := netsamp.EffectiveRates(m, rates, false)
+	rho := netsamp.EffectiveRates(m, rates, nil)
 	for k, r := range rho {
 		if r <= 0 {
 			t.Fatalf("pair %d unmonitored", k)
