@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"netsamp/internal/baseline"
+	"netsamp/internal/control"
 	"netsamp/internal/core"
 	"netsamp/internal/eval"
 	"netsamp/internal/geant"
@@ -536,4 +537,64 @@ func BenchmarkDynamicIntervalWarm(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(iters)/float64(b.N), "solver-iters/op")
+}
+
+// BenchmarkSolveRobust solves the Table I instance against the upper
+// edge of a ±20% load confidence envelope — the per-interval price of
+// the pessimistic posture relative to BenchmarkTable1Optimization.
+func BenchmarkSolveRobust(b *testing.B) {
+	prob := benchProblem(b, benchScenario(b), nil)
+	lower := make([]float64, len(prob.Loads))
+	upper := make([]float64, len(prob.Loads))
+	for i, u := range prob.Loads {
+		lower[i] = 0.8 * u
+		upper[i] = 1.2 * u
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := core.SolveRobust(prob, core.RobustPessimistic, lower, upper, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Stats.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkRobustControllerSteps drives an uncertainty-aware controller
+// through 8 successive intervals: load tracking, the robust envelope
+// solve and the exploration reserve, per interval.
+func BenchmarkRobustControllerSteps(b *testing.B) {
+	s := benchScenario(b)
+	schedule := dynamicLoadSchedule(s, benchIntervals)
+	inv := s.UtilityParams(eval.Interval)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := control.New(control.Options{
+			Budget:      core.BudgetPerInterval(100000, eval.Interval),
+			SmoothAlpha: 0.5,
+			Robust: control.RobustOptions{
+				Mode:            core.RobustPessimistic,
+				ExplorationFrac: 0.1,
+				WidenFactor:     1.3,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, loads := range schedule {
+			if _, err := ctl.StepResilient(context.Background(), control.StepInput{
+				Matrix:     s.Matrix,
+				Loads:      loads,
+				Candidates: s.MonitorLinks,
+				InvSizes:   inv,
+				Workers:    1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }

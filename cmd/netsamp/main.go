@@ -13,6 +13,7 @@
 //	netsamp tm       [-theta N] [-trials N] [-workers N]
 //	netsamp dynamic  [-intervals N] [-theta N] [-workers N]
 //	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
+//	netsamp regret   [-intervals N] [-theta N] [-drift V] [-step P] [-explore F] [-widen F] [-csv] [-workers N]
 //	netsamp coordinate [-trials N] [-seed N] [-csv] [-workers N]
 //	netsamp serve    -dir DIR [-theta N] [-seed N] [-intervals N] [-checkpoint N] [-workers N]
 //	netsamp optimize -f network.netsamp [-model M] [-maxmin] [-json]
@@ -129,6 +130,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdDynamic(args)
 	case "degrade":
 		err = cmdDegrade(args)
+	case "regret":
+		err = cmdRegret(args)
 	case "coordinate":
 		err = cmdCoordinate(args)
 	case "serve":
@@ -169,6 +172,7 @@ commands:
   tm           traffic-matrix estimation: SNMP counters vs optimized sampling
   dynamic      static vs re-optimized plans under traffic/routing dynamics
   degrade      accuracy under monitor crashes and export loss, naive vs graceful
+  regret       utility regret under load drift: plug-in vs uncertainty-aware control
   coordinate   coordinated (cSamp-style) vs independent sampling across θ
   serve        supervised control-loop daemon with crash-safe checkpointing
   optimize     solve a user-provided scenario file (-f network.netsamp)
@@ -462,6 +466,66 @@ func cmdDegrade(args []string) error {
 	return eval.RenderDegrade(os.Stdout, res)
 }
 
+func cmdRegret(args []string) error {
+	fs := flag.NewFlagSet("regret", flag.ExitOnError)
+	intervals := fs.Int("intervals", 24, "simulated 5-minute intervals per grid point")
+	theta := fs.Float64("theta", 100000, "budget θ in packets per interval")
+	drift := fs.Float64("drift", 0.3, "true-load random-walk volatility per interval (0 disables)")
+	step := fs.Float64("step", 0.1, "per-interval probability of a step change in a link's true load (0 disables)")
+	explore := fs.Float64("explore", 0.1, "exploration reserve as a fraction of θ in [0, 0.5] (0 disables)")
+	widen := fs.Float64("widen", 1.3, "tracker confidence widening per unobserved interval (>= 1)")
+	killat := fs.Int("killat", 0, "kill and restore the robust controller before this interval (0 disables; output must not change)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	seed := scenarioFlags(fs)
+	workers := workersFlag(fs)
+	fs.Parse(args)
+	if err := checkWorkers(fs, *workers); err != nil {
+		return err
+	}
+	if *drift < 0 || *step < 0 || *step > 1 {
+		fs.Usage()
+		return fmt.Errorf("invalid -drift %v / -step %v: want drift >= 0 and step in [0, 1]", *drift, *step)
+	}
+	if *explore < 0 || *explore > 0.5 {
+		fs.Usage()
+		return fmt.Errorf("invalid -explore %v: must be in [0, 0.5]", *explore)
+	}
+	if *widen < 1 {
+		fs.Usage()
+		return fmt.Errorf("invalid -widen %v: must be >= 1", *widen)
+	}
+	s, err := geant.Build(*seed)
+	if err != nil {
+		return err
+	}
+	cfg := eval.RegretConfig{
+		Intervals: *intervals, Theta: *theta,
+		DriftVol: *drift, DriftStep: *step,
+		ExplorationFrac: *explore, WidenFactor: *widen,
+		KillAt: *killat, Seed: *seed + 7000, Workers: *workers,
+	}
+	// The flag defaults mirror the study defaults, but an explicit zero
+	// means "disable", not "use the default".
+	if *drift == 0 {
+		cfg.DriftVol = -1
+	}
+	if *step == 0 {
+		cfg.DriftStep = -1
+	}
+	if *explore == 0 {
+		cfg.ExplorationFrac = -1
+	}
+	res, err := eval.RegretStudy(context.Background(), s, cfg)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		header, rows := eval.RegretCSV(res)
+		return eval.WriteCSV(os.Stdout, header, rows)
+	}
+	return eval.RenderRegret(os.Stdout, res)
+}
+
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	file := fs.String("f", "", "scenario file (see internal/spec for the format)")
@@ -650,6 +714,10 @@ func cmdAll(args []string) error {
 	}
 	fmt.Println("\n=== Degradation under faults ===")
 	if err := cmdDegrade(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== Regret under load drift ===")
+	if err := cmdRegret(nil); err != nil {
 		return err
 	}
 	fmt.Println("\n=== Max-min extension ===")

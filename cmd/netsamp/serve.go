@@ -9,6 +9,8 @@ import (
 	"syscall"
 	"time"
 
+	"netsamp/internal/control"
+	"netsamp/internal/core"
 	"netsamp/internal/daemon"
 	"netsamp/internal/faults"
 )
@@ -31,9 +33,14 @@ func cmdServe(args []string) error {
 	gain := fs.Float64("switchgain", 0.01, "hysteresis: minimum relative gain to change the monitor set")
 	revive := fs.Int("revive", 2, "healthy intervals a recovered monitor owes before readmission")
 	solveTimeout := fs.Duration("solve-timeout", 0, "per-interval solver wall-clock bound (0 = none)")
+	robust := fs.String("robust", "off", "robust solving posture: off, pessimistic or optimistic")
+	explore := fs.Float64("explore", 0.1, "budget fraction reserved for probing uncertain links (robust mode)")
+	widen := fs.Float64("widen", 1.3, "per-unobserved-interval confidence widening factor (robust mode)")
 	crash := fs.Float64("crash", 0, "per-interval monitor crash probability")
 	clamp := fs.Float64("clamp", 0, "per-interval per-link rate-clamp probability")
 	overrun := fs.Float64("overrun", 0, "per-interval solver overrun probability")
+	drift := fs.Float64("drift", 0, "per-interval load random-walk volatility (load drift fault)")
+	driftStep := fs.Float64("drift-step", 0, "per-interval per-link step-change probability (load drift fault)")
 	maxFailures := fs.Int("max-failures", 5, "consecutive crashes (without a checkpoint in between) before giving up")
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial restart backoff (doubles per failure)")
 	maxBackoff := fs.Duration("max-backoff", 30*time.Second, "restart backoff ceiling")
@@ -43,6 +50,18 @@ func cmdServe(args []string) error {
 	}
 	if *dir == "" {
 		return fmt.Errorf("serve needs -dir <persistence directory>")
+	}
+	mode, err := core.RobustModeByName(*robust)
+	if err != nil {
+		return err
+	}
+	var robustOpts control.RobustOptions
+	if mode != core.RobustOff {
+		robustOpts = control.RobustOptions{
+			Mode:            mode,
+			ExplorationFrac: *explore,
+			WidenFactor:     *widen,
+		}
 	}
 
 	logf := func(format string, a ...any) {
@@ -59,10 +78,13 @@ func cmdServe(args []string) error {
 		SwitchGain:      *gain,
 		ReviveAfter:     *revive,
 		SolveTimeout:    *solveTimeout,
+		Robust:          robustOpts,
 		Faults: faults.Config{
 			MonitorCrash:  *crash,
 			RateClamp:     *clamp,
 			SolverOverrun: *overrun,
+			DriftVol:      *drift,
+			DriftStep:     *driftStep,
 		},
 		Logf: logf,
 	}

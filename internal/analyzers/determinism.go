@@ -17,6 +17,8 @@ var ReplayCriticalPackages = []string{
 	"netsamp/internal/state",
 	"netsamp/internal/eval",
 	"netsamp/internal/plan",
+	"netsamp/internal/loadtrack",
+	"netsamp/internal/faults",
 }
 
 // IsReplayCritical reports whether pkgPath is inside the replay fence.

@@ -27,6 +27,7 @@ import (
 
 	"netsamp/internal/core"
 	"netsamp/internal/engine"
+	"netsamp/internal/loadtrack"
 	"netsamp/internal/plan"
 	"netsamp/internal/rng"
 	"netsamp/internal/routing"
@@ -59,8 +60,31 @@ type Options struct {
 	// identity: snapshots record it and Restore rejects state solved
 	// under a different model, keeping warm starts bitwise-deterministic.
 	Model core.RateModel
+	// Robust enables uncertainty-aware operation: a loadtrack.Tracker
+	// maintains per-link confidence intervals from the observation
+	// stream, solves run against the envelope edge Robust.Mode selects,
+	// and Robust.ExplorationFrac of θ is spent re-observing the most
+	// uncertain links. The zero value (RobustOff) preserves the plain
+	// EWMA controller bit-for-bit.
+	Robust RobustOptions
 	// Solve carries the inner solver options.
 	Solve core.Options
+}
+
+// RobustOptions tunes the uncertainty-aware control loop.
+type RobustOptions struct {
+	// Mode selects the envelope edge each interval's solves optimize
+	// against (core.RobustOff disables the tracker entirely).
+	Mode core.RobustMode
+	// ExplorationFrac reserves this fraction of θ (in [0, 0.5]) and
+	// spreads it across the most-uncertain eligible links each interval,
+	// so a link the exploitation plan turns off keeps producing
+	// observations instead of drifting unseen. 0 disables exploration.
+	ExplorationFrac float64
+	// WidenFactor is the tracker's per-unobserved-interval multiplicative
+	// confidence widening (default 1.25; must be >= 1, see
+	// loadtrack.Config.WidenFactor).
+	WidenFactor float64
 }
 
 // Decision is the controller's output for one interval.
@@ -89,6 +113,10 @@ type Decision struct {
 	// optimization proceeds for the remaining pairs (Solution indexes the
 	// covered pairs only).
 	Uncovered int
+	// Explored lists links granted a slice of the exploration reserve
+	// this interval (ascending LinkID; robust mode with a non-zero
+	// ExplorationFrac only). Their Plan rates include the grant.
+	Explored []topology.LinkID
 }
 
 // Controller holds the cross-interval state. The zero value is not
@@ -109,28 +137,51 @@ type Controller struct {
 	// as long as routing and the monitor sets are stable, each interval's
 	// solves re-tune a compiled workspace instead of rebuilding it.
 	cache *plan.Cache
+	// tracker maintains the per-link load confidence intervals in robust
+	// mode (nil when Robust.Mode is off); trackMeans is its point-
+	// estimate scratch, playing the role ewmaLoads plays in plain mode.
+	tracker    *loadtrack.Tracker
+	trackMeans []float64
 }
 
-// New returns a controller. Budget must be positive.
+// New returns a controller. Every Options field is validated here, and
+// each rejection is a typed *core.InputError (errors.Is-matchable
+// against core.ErrInvalidInput), so callers can distinguish permanent
+// configuration faults from transient solve failures.
 func New(opts Options) (*Controller, error) {
-	if !(opts.Budget > 0) {
-		return nil, fmt.Errorf("control: budget %v, want > 0", opts.Budget)
+	if math.IsNaN(opts.Budget) || math.IsInf(opts.Budget, 0) || !(opts.Budget > 0) {
+		return nil, &core.InputError{Field: "controller budget", Index: -1, Value: opts.Budget, Reason: "want a finite value > 0"}
 	}
-	if opts.SmoothAlpha < 0 || opts.SmoothAlpha > 1 {
-		return nil, fmt.Errorf("control: smooth alpha %v out of [0, 1]", opts.SmoothAlpha)
+	if math.IsNaN(opts.SmoothAlpha) || opts.SmoothAlpha < 0 || opts.SmoothAlpha > 1 {
+		return nil, &core.InputError{Field: "smooth alpha", Index: -1, Value: opts.SmoothAlpha, Reason: "want the EWMA coefficient in (0, 1] (0 = unset selects 1)"}
 	}
-	if opts.SwitchGain < 0 {
-		return nil, fmt.Errorf("control: switch gain %v, want >= 0", opts.SwitchGain)
+	if math.IsNaN(opts.SwitchGain) || math.IsInf(opts.SwitchGain, 0) || opts.SwitchGain < 0 {
+		return nil, &core.InputError{Field: "switch gain", Index: -1, Value: opts.SwitchGain, Reason: "want a finite value >= 0"}
 	}
 	if opts.ReviveAfter < 0 {
-		return nil, fmt.Errorf("control: revive after %d, want >= 0", opts.ReviveAfter)
+		return nil, &core.InputError{Field: "revive after", Index: -1, Value: float64(opts.ReviveAfter), Reason: "want >= 0 intervals"}
 	}
 	if opts.SolveTimeout < 0 {
-		return nil, fmt.Errorf("control: solve timeout %v, want >= 0", opts.SolveTimeout)
+		return nil, &core.InputError{Field: "solve timeout", Index: -1, Value: opts.SolveTimeout.Seconds(), Reason: "want a non-negative duration"}
+	}
+	if opts.Robust.Mode != core.RobustOff && opts.Robust.Mode != core.RobustPessimistic && opts.Robust.Mode != core.RobustOptimistic {
+		return nil, &core.InputError{Field: "robust mode", Index: -1, Value: float64(opts.Robust.Mode), Reason: "want off, pessimistic or optimistic"}
+	}
+	if math.IsNaN(opts.Robust.ExplorationFrac) || opts.Robust.ExplorationFrac < 0 || opts.Robust.ExplorationFrac > 0.5 {
+		return nil, &core.InputError{Field: "exploration fraction", Index: -1, Value: opts.Robust.ExplorationFrac, Reason: "want a fraction of θ in [0, 0.5]"}
+	}
+	wf := opts.Robust.WidenFactor
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
+	if math.IsNaN(wf) || math.IsInf(wf, 0) || (wf != 0 && wf < 1) {
+		return nil, &core.InputError{Field: "widen factor", Index: -1, Value: wf, Reason: "want a finite value >= 1 (0 = unset selects 1.25)"}
 	}
 	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
 	if opts.SmoothAlpha == 0 {
 		opts.SmoothAlpha = 1
+	}
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
+	if opts.Robust.WidenFactor == 0 {
+		opts.Robust.WidenFactor = 1.25
 	}
 	return &Controller{opts: opts, probation: make(map[topology.LinkID]int), cache: plan.NewCache()}, nil
 }
@@ -169,6 +220,19 @@ type StepInput struct {
 	// unreachable, or silent). They are excluded from the optimization
 	// and re-enter only after ReviveAfter healthy intervals.
 	Down []topology.LinkID
+	// Observed marks which Loads entries are fresh observations this
+	// interval (indexed like Loads; nil = all fresh). Robust mode only:
+	// an unobserved link keeps its tracked estimate frozen and widens
+	// its confidence interval. Down and probation links are forced
+	// unobserved regardless — a crashed monitor reports nothing.
+	Observed []bool
+	// LoadRelErr is the relative standard error of each Loads entry
+	// (indexed like Loads; nil = exact). Robust mode only: the netflow
+	// estimator's delta-method error — inflated under transport loss,
+	// +Inf for a no-information interval — feeds the tracker, so a lossy
+	// or starved observation widens the link's interval instead of being
+	// trusted outright (see netflow.LinkLoadObservation).
+	LoadRelErr []float64
 	// FailSolve injects a solver failure (fault injection for tests and
 	// degradation studies).
 	FailSolve bool
@@ -284,17 +348,31 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		return nil, fmt.Errorf("control: no monitor eligible (%d candidates all down or in probation)", len(in.Candidates))
 	}
 
-	// EWMA the loads (element-wise; topology size may change between
-	// steps — reset the filter if it does).
-	if c.ewmaLoads == nil || len(c.ewmaLoads) != len(in.Loads) {
-		c.ewmaLoads = append([]float64(nil), in.Loads...)
-	} else {
-		a := c.opts.SmoothAlpha
-		for i, u := range in.Loads {
-			c.ewmaLoads[i] = (1-a)*c.ewmaLoads[i] + a*u
+	robust := c.opts.Robust.Mode != core.RobustOff
+	var smoothed []float64
+	if robust {
+		// The tracker subsumes the EWMA filter: point estimates follow
+		// the same (1-α)·old + α·new recursion, but each link also
+		// carries a confidence interval that tightens on observation and
+		// widens while unobserved (down, in probation, or simply not
+		// sampled). The solves below run against the resulting envelope.
+		var err error
+		if smoothed, err = c.trackLoads(in, excluded); err != nil {
+			return nil, err
 		}
+	} else {
+		// EWMA the loads (element-wise; topology size may change between
+		// steps — reset the filter if it does).
+		if c.ewmaLoads == nil || len(c.ewmaLoads) != len(in.Loads) {
+			c.ewmaLoads = append([]float64(nil), in.Loads...)
+		} else {
+			a := c.opts.SmoothAlpha
+			for i, u := range in.Loads {
+				c.ewmaLoads[i] = (1-a)*c.ewmaLoads[i] + a*u
+			}
+		}
+		smoothed = c.ewmaLoads
 	}
-	smoothed := c.ewmaLoads
 
 	// Pairs whose entire path lost its monitors are unmeasurable this
 	// interval; dropping them (instead of failing the solve outright)
@@ -309,12 +387,18 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		if len(m.Pairs) == 0 {
 			return nil, fmt.Errorf("control: no pair measurable on %d eligible links", len(cands))
 		}
+		// In robust mode the exploitation solve runs on the remaining
+		// (1 - ExplorationFrac)·θ; the reserve is spent in explore below.
+		budget := c.opts.Budget
+		if robust {
+			budget *= 1 - c.opts.Robust.ExplorationFrac
+		}
 		comp, err := c.cache.Get(plan.Input{
 			Matrix:       m,
 			Loads:        smoothed,
 			Candidates:   cands,
 			InvMeanSizes: inv,
-			Budget:       c.opts.Budget,
+			Budget:       budget,
 			Model:        c.opts.Model,
 		})
 		if err != nil {
@@ -334,6 +418,14 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 			if warm, werr := core.WarmStartRates(prev, comp.Problem(), nil); werr == nil {
 				opt.Initial = warm
 			}
+		}
+		if robust {
+			lo := make([]float64, len(cands))
+			hi := make([]float64, len(cands))
+			for j, lid := range cands {
+				lo[j], hi[j] = c.tracker.Bounds(int(lid))
+			}
+			return comp.Solver().SolveRobust(c.opts.Robust.Mode, lo, hi, opt)
 		}
 		return comp.Solver().Solve(opt)
 	}
@@ -406,13 +498,13 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 		changed := !equalSets(c.active, fullSet)
 		c.active = fullSet
 		c.rememberGood(fullRates)
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: changed, Excluded: excluded, Uncovered: uncovered}, nil
+		return c.finish(&Decision{Plan: fullRates, Solution: full, SetChanged: changed, Excluded: excluded, Uncovered: uncovered}, eligible), nil
 	}
 
 	if retainedSol == nil {
 		c.active = fullSet
 		c.rememberGood(fullRates)
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Excluded: excluded, Uncovered: uncovered}, nil
+		return c.finish(&Decision{Plan: fullRates, Solution: full, SetChanged: true, Excluded: excluded, Uncovered: uncovered}, eligible), nil
 	}
 	gain := 0.0
 	//netsamp:floateq-ok exact-zero guard against dividing by the objective
@@ -422,13 +514,113 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 	if gain > c.opts.SwitchGain {
 		c.active = fullSet
 		c.rememberGood(fullRates)
-		return &Decision{Plan: fullRates, Solution: full, SetChanged: true, Gain: gain, Excluded: excluded, Uncovered: uncovered}, nil
+		return c.finish(&Decision{Plan: fullRates, Solution: full, SetChanged: true, Gain: gain, Excluded: excluded, Uncovered: uncovered}, eligible), nil
 	}
 	// Keep the set; deploy re-tuned rates.
 	rates := plan.RatesByLink(retainedSol, retained)
 	c.active = topology.SortedKeys(rates)
 	c.rememberGood(rates)
-	return &Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain, Excluded: excluded, Uncovered: uncovered}, nil
+	return c.finish(&Decision{Plan: rates, Solution: retainedSol, SetChanged: false, Gain: gain, Excluded: excluded, Uncovered: uncovered}, eligible), nil
+}
+
+// trackLoads runs one robust-mode tracker update: every eligible link's
+// raw load (with its stated error) is ingested as an observation, while
+// excluded links — down or in probation — and links the caller marked
+// unobserved widen their intervals. Returns the tracker's point
+// estimates, the robust counterpart of the EWMA-smoothed loads.
+func (c *Controller) trackLoads(in StepInput, excluded []topology.LinkID) ([]float64, error) {
+	if c.tracker == nil || c.tracker.Len() != len(in.Loads) {
+		c.tracker = loadtrack.MustNew(len(in.Loads), c.trackerConfig())
+	}
+	observed := make([]bool, len(in.Loads))
+	if in.Observed == nil {
+		for i := range observed {
+			observed[i] = true
+		}
+	} else {
+		if len(in.Observed) != len(in.Loads) {
+			return nil, fmt.Errorf("control: %d observed flags for %d loads", len(in.Observed), len(in.Loads))
+		}
+		copy(observed, in.Observed)
+	}
+	for _, lid := range excluded {
+		if int(lid) >= 0 && int(lid) < len(observed) {
+			observed[lid] = false
+		}
+	}
+	if err := c.tracker.Observe(in.Loads, in.LoadRelErr, observed); err != nil {
+		return nil, err
+	}
+	if len(c.trackMeans) != c.tracker.Len() {
+		c.trackMeans = make([]float64, c.tracker.Len())
+	}
+	c.tracker.MeansInto(c.trackMeans)
+	return c.trackMeans, nil
+}
+
+func (c *Controller) trackerConfig() loadtrack.Config {
+	return loadtrack.Config{Alpha: c.opts.SmoothAlpha, WidenFactor: c.opts.Robust.WidenFactor}
+}
+
+// finish applies the exploration reserve to a freshly solved decision.
+// The reserve deliberately bypasses the hysteresis machinery: c.active
+// and the last-good rates hold the exploitation plan only, so a
+// rotating exploration set neither trips SetChanged churn nor leaks
+// into fallback rescaling.
+func (c *Controller) finish(d *Decision, eligible []topology.LinkID) *Decision {
+	if c.opts.Robust.Mode == core.RobustOff || !(c.opts.Robust.ExplorationFrac > 0) {
+		return d
+	}
+	d.Explored = c.explore(d.Plan, eligible)
+	return d
+}
+
+// explore spends the ExplorationFrac·θ reserve on the K eligible links
+// with the widest relative confidence intervals (ties broken by LinkID,
+// so the choice is deterministic). Each chosen link's rate grows by its
+// equal share of the reserve priced at the link's UPPER load bound —
+// the grant can only underspend the reserve, never break the Σ p·U ≤ θ
+// guarantee the pessimistic exploitation solve established.
+func (c *Controller) explore(rates map[topology.LinkID]float64, eligible []topology.LinkID) []topology.LinkID {
+	frac := c.opts.Robust.ExplorationFrac
+	k := int(math.Ceil(frac * float64(len(eligible))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	order := append([]topology.LinkID(nil), eligible...)
+	sort.Slice(order, func(i, j int) bool {
+		ri, rj := c.tracker.Rel(int(order[i])), c.tracker.Rel(int(order[j]))
+		//netsamp:floateq-ok an exact tie falls through to the LinkID order
+		if ri != rj {
+			return ri > rj
+		}
+		return order[i] < order[j]
+	})
+	share := c.opts.Budget * frac / float64(k)
+	explored := make([]topology.LinkID, 0, k)
+	for _, lid := range order[:k] {
+		_, hi := c.tracker.Bounds(int(lid))
+		if !(hi > 0) {
+			continue
+		}
+		rates[lid] = math.Min(1, rates[lid]+share/hi)
+		explored = append(explored, lid)
+	}
+	sort.Slice(explored, func(i, j int) bool { return explored[i] < explored[j] })
+	return explored
+}
+
+// TrackerState returns a snapshot of the robust load tracker, or nil
+// when none is live (robust mode off, or no robust step taken yet).
+func (c *Controller) TrackerState() *loadtrack.State {
+	if c.tracker == nil {
+		return nil
+	}
+	st := c.tracker.Snapshot()
+	return &st
 }
 
 // fallback serves an interval whose re-optimization failed: the last

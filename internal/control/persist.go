@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"netsamp/internal/core"
+	"netsamp/internal/loadtrack"
 	"netsamp/internal/plan"
 	"netsamp/internal/state"
 	"netsamp/internal/topology"
@@ -35,12 +36,23 @@ type State struct {
 	// would silently perturb the warm-start trajectory. Empty means
 	// unrecorded (hand-built states) and matches any model.
 	Model string
+	// Tracker is the robust load tracker's state (nil when the snapshot
+	// was taken without a live tracker). A version-2 snapshot decodes
+	// with Tracker nil, so a pre-robust checkpoint restores into a
+	// robust controller with a cold tracker that re-learns from the
+	// observation stream.
+	Tracker *loadtrack.State
 }
 
 // controllerStateVersion stamps the State binary encoding. Version 2
-// added the rate-model identity; version-1 payloads are rejected (the
-// daemon's corrupt-snapshot fallback restarts cold, which is safe).
-const controllerStateVersion = 2
+// added the rate-model identity; version 3 appended the optional load
+// tracker. Version-2 payloads are still accepted (cold tracker);
+// version-1 payloads are rejected (the daemon's corrupt-snapshot
+// fallback restarts cold, which is safe).
+const controllerStateVersion = 3
+
+// legacyStateVersion is the newest pre-tracker encoding still accepted.
+const legacyStateVersion = 2
 
 // Snapshot captures the controller's cross-interval state (deep copies;
 // later steps do not mutate the snapshot).
@@ -65,6 +77,7 @@ func (c *Controller) Snapshot() State {
 			st.Probation[lid] = n
 		}
 	}
+	st.Tracker = c.TrackerState()
 	return st
 }
 
@@ -102,6 +115,15 @@ func (c *Controller) Restore(st State) error {
 			return fmt.Errorf("control: restore: EWMA load %v, want finite >= 0", u)
 		}
 	}
+	// Validate the tracker before mutating anything, so a rejected state
+	// leaves the controller untouched.
+	var tracker *loadtrack.Tracker
+	if st.Tracker != nil && c.opts.Robust.Mode != core.RobustOff {
+		tracker = loadtrack.MustNew(0, c.trackerConfig())
+		if err := tracker.Restore(*st.Tracker); err != nil {
+			return fmt.Errorf("control: restore: %w", err)
+		}
+	}
 	c.steps = st.Steps
 	c.fallbacks = st.Fallbacks
 	c.active = nil
@@ -121,6 +143,11 @@ func (c *Controller) Restore(st State) error {
 	for lid, n := range st.Probation {
 		c.probation[lid] = n
 	}
+	// A snapshot without tracker state — or one restored into a
+	// non-robust controller, where it could not influence a decision —
+	// starts the tracker cold; robust steps re-learn the intervals.
+	c.tracker = tracker
+	c.trackMeans = nil
 	c.cache = plan.NewCache()
 	return nil
 }
@@ -160,14 +187,26 @@ func (s State) MarshalBinary() ([]byte, error) {
 		e.I64(int64(s.Probation[lid]))
 	}
 	e.Bytes([]byte(s.Model))
+	e.Bool(s.Tracker != nil)
+	if s.Tracker != nil {
+		blob, err := s.Tracker.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		e.Bytes(blob)
+	}
 	return e.Data(), nil
 }
 
 // UnmarshalBinary decodes a state produced by MarshalBinary, rejecting
-// unknown versions and malformed payloads.
+// unknown versions and malformed payloads. Version-2 payloads (without
+// the tracker) are accepted with Tracker nil; corrupt tracker bytes in
+// a version-3 payload are rejected with an error wrapping
+// state.ErrCodec.
 func (s *State) UnmarshalBinary(b []byte) error {
 	d := state.NewDecoder(b)
-	if v := d.U16(); d.Err() == nil && v != controllerStateVersion {
+	v := d.U16()
+	if d.Err() == nil && v != legacyStateVersion && v != controllerStateVersion {
 		return fmt.Errorf("control: unknown state version %d", v)
 	}
 	*s = State{}
@@ -202,5 +241,15 @@ func (s *State) UnmarshalBinary(b []byte) error {
 		}
 	}
 	s.Model = string(d.Bytes())
+	if v >= controllerStateVersion && d.Bool() {
+		blob := d.Bytes()
+		if d.Err() == nil {
+			ts := &loadtrack.State{}
+			if err := ts.UnmarshalBinary(blob); err != nil {
+				return fmt.Errorf("control: tracker state: %w", err)
+			}
+			s.Tracker = ts
+		}
+	}
 	return d.Finish()
 }

@@ -1,0 +1,442 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"netsamp/internal/core"
+	"netsamp/internal/loadtrack"
+	"netsamp/internal/netflow"
+	"netsamp/internal/plan"
+	"netsamp/internal/state"
+	"netsamp/internal/topology"
+)
+
+// TestNewTypedValidation: every Options rejection is a *core.InputError
+// carrying the offending field, matchable against core.ErrInvalidInput.
+func TestNewTypedValidation(t *testing.T) {
+	cases := []struct {
+		opts  Options
+		field string
+	}{
+		{Options{Budget: 0}, "controller budget"},
+		{Options{Budget: math.NaN()}, "controller budget"},
+		{Options{Budget: math.Inf(1)}, "controller budget"},
+		{Options{Budget: -3}, "controller budget"},
+		{Options{Budget: 1, SmoothAlpha: math.NaN()}, "smooth alpha"},
+		{Options{Budget: 1, SmoothAlpha: -0.1}, "smooth alpha"},
+		{Options{Budget: 1, SmoothAlpha: 1.5}, "smooth alpha"},
+		{Options{Budget: 1, SwitchGain: math.NaN()}, "switch gain"},
+		{Options{Budget: 1, SwitchGain: math.Inf(1)}, "switch gain"},
+		{Options{Budget: 1, SwitchGain: -1}, "switch gain"},
+		{Options{Budget: 1, ReviveAfter: -1}, "revive after"},
+		{Options{Budget: 1, SolveTimeout: -1}, "solve timeout"},
+		{Options{Budget: 1, Robust: RobustOptions{Mode: core.RobustMode(99)}}, "robust mode"},
+		{Options{Budget: 1, Robust: RobustOptions{ExplorationFrac: math.NaN()}}, "exploration fraction"},
+		{Options{Budget: 1, Robust: RobustOptions{ExplorationFrac: -0.1}}, "exploration fraction"},
+		{Options{Budget: 1, Robust: RobustOptions{ExplorationFrac: 0.6}}, "exploration fraction"},
+		{Options{Budget: 1, Robust: RobustOptions{WidenFactor: 0.5}}, "widen factor"},
+		{Options{Budget: 1, Robust: RobustOptions{WidenFactor: math.NaN()}}, "widen factor"},
+		{Options{Budget: 1, Robust: RobustOptions{WidenFactor: math.Inf(1)}}, "widen factor"},
+	}
+	for i, c := range cases {
+		_, err := New(c.opts)
+		if err == nil {
+			t.Errorf("case %d (%s): options accepted", i, c.field)
+			continue
+		}
+		if !errors.Is(err, core.ErrInvalidInput) {
+			t.Errorf("case %d (%s): %v does not match core.ErrInvalidInput", i, c.field, err)
+		}
+		var ie *core.InputError
+		if !errors.As(err, &ie) {
+			t.Errorf("case %d (%s): %v is not a *core.InputError", i, c.field, err)
+			continue
+		}
+		if ie.Field != c.field {
+			t.Errorf("case %d: field %q, want %q", i, ie.Field, c.field)
+		}
+	}
+	// Valid robust options (and the unset sentinels) are accepted.
+	for _, opts := range []Options{
+		{Budget: 1},
+		{Budget: 1, Robust: RobustOptions{Mode: core.RobustPessimistic, ExplorationFrac: 0.5, WidenFactor: 1.5}},
+		{Budget: 1, Robust: RobustOptions{Mode: core.RobustOptimistic}},
+	} {
+		if _, err := New(opts); err != nil {
+			t.Errorf("valid options %+v rejected: %v", opts, err)
+		}
+	}
+}
+
+func robustOpts(frac float64) Options {
+	return Options{
+		Budget:      core.BudgetPerInterval(100000, 300),
+		SmoothAlpha: 0.5,
+		Robust:      RobustOptions{Mode: core.RobustPessimistic, ExplorationFrac: frac},
+	}
+}
+
+// TestRobustStepBudgetAndExploration: under pessimistic solving the
+// deployed plan — exploration grants included — never overspends θ
+// against the true loads, and the exploration reserve is actually spent
+// on a deterministic, sorted set of links.
+func TestRobustStepBudgetAndExploration(t *testing.T) {
+	s, inv := setup(t)
+	c, err := New(robustOpts(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := c.opts.Budget
+	for i := 0; i < 4; i++ {
+		in := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+		if i == 2 {
+			in.Down = []topology.LinkID{s.MonitorLinks[0]}
+		}
+		d, err := c.StepResilient(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spend := plan.SampledRate(d.Plan, s.Loads); spend > budget*(1+1e-9) {
+			t.Fatalf("interval %d: true spend %v exceeds θ = %v", i, spend, budget)
+		}
+		if len(d.Explored) == 0 {
+			t.Fatalf("interval %d: empty exploration set with frac 0.2", i)
+		}
+		for j, lid := range d.Explored {
+			if j > 0 && d.Explored[j-1] >= lid {
+				t.Fatalf("interval %d: Explored not strictly ascending: %v", i, d.Explored)
+			}
+			if !(d.Plan[lid] > 0) {
+				t.Fatalf("interval %d: explored link %d has no deployed rate", i, lid)
+			}
+		}
+	}
+	// Without exploration the decision reports none.
+	c2, err := New(robustOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c2.StepResilient(context.Background(), StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Explored != nil {
+		t.Fatalf("Explored = %v with exploration off", d.Explored)
+	}
+}
+
+// TestRobustDownMonitorWidens: a link whose monitor is reported down
+// keeps its point estimate frozen but widens its confidence interval by
+// WidenFactor each unobserved interval — staleness the solver can see.
+func TestRobustDownMonitorWidens(t *testing.T) {
+	s, inv := setup(t)
+	c, err := New(robustOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+	if _, err := c.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	lid := s.MonitorLinks[0]
+	before := c.TrackerState()
+	down := in
+	down.Down = []topology.LinkID{lid}
+	d, err := c.StepResilient(context.Background(), down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, x := range d.Excluded {
+		found = found || x == lid
+	}
+	if !found {
+		t.Fatalf("down link %d not in Excluded %v", lid, d.Excluded)
+	}
+	after := c.TrackerState()
+	wantRel := before.Rel[lid] * 1.25 // default WidenFactor
+	if math.Abs(after.Rel[lid]-wantRel) > 1e-12 {
+		t.Fatalf("rel after outage %v, want %v (%v widened by 1.25)", after.Rel[lid], wantRel, before.Rel[lid])
+	}
+	if after.Mean[lid] != before.Mean[lid] {
+		t.Fatalf("mean moved during outage: %v -> %v", before.Mean[lid], after.Mean[lid])
+	}
+	if after.Age[lid] != 1 {
+		t.Fatalf("age %d after one missed interval, want 1", after.Age[lid])
+	}
+	// A healthy interval re-tightens (ReviveAfter 0 readmits at once).
+	if _, err := c.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TrackerState(); !(got.Rel[lid] < after.Rel[lid]) || got.Age[lid] != 0 {
+		t.Fatalf("recovery did not tighten: rel %v (was %v), age %d", got.Rel[lid], after.Rel[lid], got.Age[lid])
+	}
+}
+
+// TestRobustNetflowErrorWiring: the netflow estimator's delta-method
+// error — inflated by transport loss — feeds StepInput.LoadRelErr and
+// widens exactly the lossy link's tracked interval, while a
+// no-information observation (+Inf) counts as a missed interval.
+func TestRobustNetflowErrorWiring(t *testing.T) {
+	s, inv := setup(t)
+	c, err := New(robustOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+	if _, err := c.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+
+	lossy, starved, clean := s.MonitorLinks[0], s.MonitorLinks[1], s.MonitorLinks[2]
+	_, lossyErr, low := netflow.LinkLoadObservation(3, 0.01, 0.5, 300)
+	if !low {
+		t.Fatalf("3 records through 50%% loss not flagged low-confidence (relErr %v)", lossyErr)
+	}
+	_, starvedErr, _ := netflow.LinkLoadObservation(0, 0.01, 0, 300)
+	relErr := make([]float64, len(s.Loads))
+	relErr[lossy] = lossyErr
+	relErr[starved] = starvedErr
+	in2 := in
+	in2.LoadRelErr = relErr
+	if _, err := c.StepResilient(context.Background(), in2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.TrackerState()
+	if !(st.Rel[lossy] > st.Rel[clean]) {
+		t.Fatalf("lossy link rel %v not wider than clean link rel %v", st.Rel[lossy], st.Rel[clean])
+	}
+	if st.Age[starved] != 1 {
+		t.Fatalf("starved link age %d, want 1 (+Inf error = unobserved)", st.Age[starved])
+	}
+	if st.Age[clean] != 0 || st.Age[lossy] != 0 {
+		t.Fatalf("observed links aged: clean %d, lossy %d", st.Age[clean], st.Age[lossy])
+	}
+}
+
+// sameRobustDecision extends sameDecision with the exploration set.
+func sameRobustDecision(a, b *Decision) bool {
+	if !sameDecision(a, b) || len(a.Explored) != len(b.Explored) {
+		return false
+	}
+	for i := range a.Explored {
+		if a.Explored[i] != b.Explored[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRobustSnapshotRestoreContinuation: a robust controller killed
+// mid-run and restored from its version-3 snapshot — tracker state
+// included — continues bit-identically to the uninterrupted original,
+// through observation gaps and outages.
+func TestRobustSnapshotRestoreContinuation(t *testing.T) {
+	s, inv := setup(t)
+	opts := robustOpts(0.15)
+	opts.SwitchGain = 0.01
+	orig, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := append([]float64(nil), s.Loads...)
+	mkInput := func(i int) StepInput {
+		in := StepInput{Matrix: s.Matrix, Loads: loads, Candidates: s.MonitorLinks, InvSizes: inv}
+		if i%2 == 1 {
+			in.Down = []topology.LinkID{s.MonitorLinks[i%len(s.MonitorLinks)]}
+		}
+		relErr := make([]float64, len(loads))
+		relErr[int(s.MonitorLinks[0])] = 0.3
+		in.LoadRelErr = relErr
+		return in
+	}
+	step := func(c *Controller, i int) *Decision {
+		d, err := c.StepResilient(context.Background(), mkInput(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	for i := 0; i < 3; i++ {
+		step(orig, i)
+		for j := range loads {
+			loads[j] *= 1.05
+		}
+	}
+
+	blob, err := orig.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := st.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tracker == nil {
+		t.Fatal("robust snapshot lost the tracker")
+	}
+	restored, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		da, db := step(orig, i), step(restored, i)
+		if !sameRobustDecision(da, db) {
+			t.Fatalf("interval %d diverged after restore:\n%+v\n%+v", i, da, db)
+		}
+		for j := range loads {
+			loads[j] *= 0.97
+		}
+	}
+}
+
+// legacyV2Blob re-encodes a tracker-free state as a version-2 payload:
+// the version stamp rewritten and the trailing has-tracker flag removed.
+func legacyV2Blob(t *testing.T, st State) []byte {
+	t.Helper()
+	st.Tracker = nil
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append([]byte{}, blob...)
+	blob[0], blob[1] = 2, 0 // version U16, little-endian
+	return blob[:len(blob)-1]
+}
+
+// TestRestoreLegacyV2ColdTracker: a pre-robust (version-2) snapshot
+// restores into a robust controller with a cold tracker, and its next
+// decision is bit-identical to restoring the same state with the
+// tracker explicitly absent — the tracker re-learns from scratch rather
+// than inventing confidence it never had.
+func TestRestoreLegacyV2ColdTracker(t *testing.T) {
+	s, inv := setup(t)
+	opts := robustOpts(0.1)
+	orig, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+	for i := 0; i < 3; i++ {
+		if _, err := orig.StepResilient(context.Background(), in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := orig.Snapshot()
+
+	var legacy State
+	if err := legacy.UnmarshalBinary(legacyV2Blob(t, snap)); err != nil {
+		t.Fatalf("v2 payload rejected: %v", err)
+	}
+	if legacy.Tracker != nil {
+		t.Fatal("v2 payload decoded a tracker")
+	}
+	fromV2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromV2.Restore(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if fromV2.TrackerState() != nil {
+		t.Fatal("tracker not cold after v2 restore")
+	}
+
+	// Reference: the same state restored with Tracker deliberately nil.
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refState := snap
+	refState.Tracker = nil
+	if err := ref.Restore(refState); err != nil {
+		t.Fatal(err)
+	}
+	da, err := fromV2.StepResilient(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ref.StepResilient(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRobustDecision(da, db) {
+		t.Fatalf("cold-tracker decisions diverged:\n%+v\n%+v", da, db)
+	}
+}
+
+// TestRestoreRejectsV1AndCorruptTracker: version-1 payloads and
+// version-3 payloads with corrupt tracker bytes are rejected with typed
+// errors; semantically invalid tracker state fails Restore before any
+// controller mutation.
+func TestRestoreRejectsV1AndCorruptTracker(t *testing.T) {
+	s, inv := setup(t)
+	orig, err := New(robustOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+	if _, err := orig.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	snap := orig.Snapshot()
+
+	v1 := legacyV2Blob(t, snap)
+	v1[0] = 1
+	var st State
+	if err := st.UnmarshalBinary(v1); err == nil || !strings.Contains(err.Error(), "unknown state version") {
+		t.Fatalf("v1 payload: %v, want unknown-version rejection", err)
+	}
+
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tracker blob is the trailing field: version U16, count U32,
+	// then 24 bytes per link. Stamp an unknown tracker version.
+	trackerLen := 6 + 24*len(snap.Tracker.Mean)
+	badVer := append([]byte{}, blob...)
+	badVer[len(badVer)-trackerLen] = 99
+	if err := st.UnmarshalBinary(badVer); err == nil || !strings.Contains(err.Error(), "tracker state") {
+		t.Fatalf("corrupt tracker version: %v, want tracker-state rejection", err)
+	}
+	// Truncation inside the tracker blob breaks the codec invariants.
+	if err := st.UnmarshalBinary(blob[:len(blob)-4]); err == nil || !errors.Is(err, state.ErrCodec) {
+		t.Fatalf("truncated payload: %v, want state.ErrCodec", err)
+	}
+
+	// Semantic corruption is caught by Restore, leaving the controller
+	// untouched.
+	c, err := New(robustOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := snap
+	bad.Tracker = &loadtrack.State{Mean: []float64{math.NaN()}, Rel: []float64{1}, Age: []int64{0}}
+	if err := c.Restore(bad); err == nil || !errors.Is(err, loadtrack.ErrBadState) {
+		t.Fatalf("NaN tracker mean: %v, want loadtrack.ErrBadState", err)
+	}
+	if c.Steps() != 0 {
+		t.Fatal("rejected restore mutated the controller")
+	}
+
+	// A tracker restored into a non-robust controller is ignored: it
+	// could never influence a decision there.
+	plain, err := New(Options{Budget: robustOpts(0).Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Restore(snap); err != nil {
+		t.Fatalf("tracker state rejected by non-robust controller: %v", err)
+	}
+	if plain.TrackerState() != nil {
+		t.Fatal("non-robust controller adopted a tracker")
+	}
+}

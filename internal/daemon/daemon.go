@@ -50,6 +50,12 @@ type Config struct {
 	ReviveAfter  int
 	SolveTimeout time.Duration
 
+	// Robust configures uncertainty-aware operation (see
+	// control.RobustOptions). Like the other controller knobs it is part
+	// of the checkpoint's configuration identity: a checkpoint written
+	// under one robust posture cannot be resumed under another.
+	Robust control.RobustOptions
+
 	// Faults is the injected fault plan. Its Seed field is overridden
 	// with Config.Seed so one seed governs the whole run.
 	Faults faults.Config
@@ -79,8 +85,16 @@ func (c Config) logf(format string, args ...any) {
 	}
 }
 
-// daemonSnapVersion stamps the checkpoint payload.
-const daemonSnapVersion = 1
+// daemonSnapVersion stamps the checkpoint payload. Version 2 added the
+// robust-control knobs to the configuration digest; version-1
+// checkpoints are still accepted and decode with zeroed robust fields,
+// so the configuration-identity check naturally rejects them when the
+// resuming configuration enables robust control.
+const daemonSnapVersion = 2
+
+// legacyDaemonSnapVersion is the newest prior checkpoint version Open
+// still restores.
+const legacyDaemonSnapVersion = 1
 
 // journalName is the decision journal's file name inside Config.Dir.
 const journalName = "decisions.nsj"
@@ -129,6 +143,7 @@ func Open(cfg Config) (*Loop, error) {
 		SwitchGain:   cfg.SwitchGain,
 		ReviveAfter:  cfg.ReviveAfter,
 		SolveTimeout: cfg.SolveTimeout,
+		Robust:       cfg.Robust,
 	})
 	if err != nil {
 		return nil, err
@@ -173,7 +188,7 @@ func Open(cfg Config) (*Loop, error) {
 	// and must be reproduced bit-exactly by the re-execution.
 	keep := 0
 	for _, rec := range records {
-		t, err := recordInterval(rec)
+		v, t, err := recordInterval(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +196,13 @@ func Open(cfg Config) (*Loop, error) {
 			keep++
 			continue
 		}
-		l.expected[t] = append([]byte{}, rec...)
+		// Records past the checkpoint are truncated below and re-derived
+		// by the re-execution; only same-version records are usable as
+		// bit-exact expectations (re-encoding always stamps the current
+		// version, so an older record would be a guaranteed mismatch).
+		if v == recordVersion {
+			l.expected[t] = append([]byte{}, rec...)
+		}
 	}
 	if err := journal.TruncateTo(keep); err != nil {
 		return nil, err
@@ -224,6 +245,14 @@ func (l *Loop) Run(ctx context.Context, progress func()) error {
 		world, err := eval.IntervalWorld(l.scenario, t, l.cfg.Seed)
 		if err != nil {
 			return err
+		}
+		// Drift faults perturb the true loads the controller observes;
+		// LoadDrift is a pure function of (seed, interval, link), so the
+		// perturbed sequence replays bit-identically after a restore.
+		if fc := l.plan.Config(); fc.DriftVol > 0 || fc.DriftStep > 0 {
+			for i := range world.Loads {
+				world.Loads[i] *= l.plan.LoadDrift(t, topology.LinkID(i))
+			}
 		}
 		// The step runs on a background context so a graceful drain lets
 		// it finish; SolveTimeout still bounds a hung solve.
@@ -302,6 +331,9 @@ func (l *Loop) checkpoint() error {
 	e.F64(l.cfg.SmoothAlpha)
 	e.F64(l.cfg.SwitchGain)
 	e.I64(int64(l.cfg.ReviveAfter))
+	e.U8(uint8(l.cfg.Robust.Mode))
+	e.F64(l.cfg.Robust.ExplorationFrac)
+	e.F64(l.cfg.Robust.WidenFactor)
 	e.I64(int64(l.next - 1)) // last completed interval
 	e.Bytes(ctrlBlob)
 	if err := l.snaps.Save(e.Data()); err != nil {
@@ -316,7 +348,8 @@ func (l *Loop) checkpoint() error {
 // completed interval.
 func (l *Loop) restore(payload []byte) (int, error) {
 	d := state.NewDecoder(payload)
-	if v := d.U16(); d.Err() == nil && v != daemonSnapVersion {
+	v := d.U16()
+	if d.Err() == nil && v != daemonSnapVersion && v != legacyDaemonSnapVersion {
 		return 0, fmt.Errorf("unknown checkpoint version %d", v)
 	}
 	seed := d.U64()
@@ -325,6 +358,12 @@ func (l *Loop) restore(payload []byte) (int, error) {
 	alpha := d.F64()
 	gain := d.F64()
 	revive := int(d.I64())
+	var robust control.RobustOptions
+	if v >= 2 {
+		robust.Mode = core.RobustMode(d.U8())
+		robust.ExplorationFrac = d.F64()
+		robust.WidenFactor = d.F64()
+	}
 	lastDone := int(d.I64())
 	ctrlBlob := d.Bytes()
 	if err := d.Finish(); err != nil {
@@ -341,7 +380,9 @@ func (l *Loop) restore(payload []byte) (int, error) {
 	//netsamp:floateq-ok config identity must be exact for the checkpoint to be replayable
 	if seed != l.cfg.Seed || theta != l.cfg.Theta || savedFaults != cfgFaults ||
 		//netsamp:floateq-ok config identity must be exact for the checkpoint to be replayable
-		alpha != l.cfg.SmoothAlpha || gain != l.cfg.SwitchGain || revive != l.cfg.ReviveAfter {
+		alpha != l.cfg.SmoothAlpha || gain != l.cfg.SwitchGain || revive != l.cfg.ReviveAfter ||
+		//netsamp:floateq-ok config identity must be exact for the checkpoint to be replayable
+		robust != l.cfg.Robust {
 		return 0, fmt.Errorf("checkpoint belongs to a different configuration (seed %d theta %v)", seed, theta)
 	}
 	if lastDone < 0 {
@@ -357,8 +398,17 @@ func (l *Loop) restore(payload []byte) (int, error) {
 	return lastDone, nil
 }
 
-// recordVersion stamps every journal decision record.
-const recordVersion = 1
+// recordVersion stamps every journal decision record. Version 2 added
+// the exploration-reserve link list; version-1 records still decode
+// (with no Explored links), but are not used as recovery cross-check
+// expectations — a re-execution always re-encodes at the current
+// version, so comparing across versions would be a guaranteed false
+// divergence.
+const recordVersion = 2
+
+// legacyRecordVersion is the newest prior record version DecodeDecision
+// still reads.
+const legacyRecordVersion = 1
 
 // Decision record flags.
 const (
@@ -376,6 +426,9 @@ type DecisionRecord struct {
 	Uncovered  int
 	Excluded   []topology.LinkID
 	Plan       map[topology.LinkID]float64
+	// Explored lists the links granted a slice of the exploration
+	// reserve this interval (robust control only; record version >= 2).
+	Explored []topology.LinkID
 }
 
 // encodeDecision serializes one interval's decision deterministically:
@@ -408,27 +461,34 @@ func encodeDecision(interval int, d *control.Decision) []byte {
 		e.I64(int64(lid))
 		e.F64(d.Plan[lid])
 	}
+	e.U32(uint32(len(d.Explored)))
+	for _, lid := range d.Explored {
+		e.I64(int64(lid))
+	}
 	return e.Data()
 }
 
-// recordInterval peeks a record's interval without a full decode.
-func recordInterval(rec []byte) (int, error) {
+// recordInterval peeks a record's version and interval without a full
+// decode.
+func recordInterval(rec []byte) (version uint16, interval int, err error) {
 	d := state.NewDecoder(rec)
-	if v := d.U16(); d.Err() == nil && v != recordVersion {
-		return 0, fmt.Errorf("daemon: unknown journal record version %d", v)
+	v := d.U16()
+	if d.Err() == nil && v != recordVersion && v != legacyRecordVersion {
+		return 0, 0, fmt.Errorf("daemon: unknown journal record version %d", v)
 	}
 	t := int(d.U32())
 	if err := d.Err(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return t, nil
+	return v, t, nil
 }
 
 // DecodeDecision decodes one journal record.
 func DecodeDecision(rec []byte) (DecisionRecord, error) {
 	d := state.NewDecoder(rec)
 	var out DecisionRecord
-	if v := d.U16(); d.Err() == nil && v != recordVersion {
+	v := d.U16()
+	if d.Err() == nil && v != recordVersion && v != legacyRecordVersion {
 		return out, fmt.Errorf("daemon: unknown journal record version %d", v)
 	}
 	out.Interval = int(d.U32())
@@ -448,6 +508,12 @@ func DecodeDecision(rec []byte) (DecisionRecord, error) {
 	for i := 0; i < n; i++ {
 		lid := topology.LinkID(d.I64())
 		out.Plan[lid] = d.F64()
+	}
+	if v >= 2 {
+		n = d.Len(8)
+		for i := 0; i < n; i++ {
+			out.Explored = append(out.Explored, topology.LinkID(d.I64()))
+		}
 	}
 	return out, d.Finish()
 }

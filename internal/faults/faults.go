@@ -67,6 +67,19 @@ type Config struct {
 	// SolverOverrun is the per-interval probability that the plan solve
 	// blows its deadline and must be treated as failed.
 	SolverOverrun float64
+
+	// DriftVol makes the true per-link loads wander: each interval every
+	// link's load is multiplied by exp(DriftVol·N(0,1)), a geometric
+	// random walk with per-interval volatility DriftVol. 0 disables.
+	DriftVol float64
+	// DriftStep is the per-interval probability that a link's load takes
+	// a step change (a regime shift: a routing event or a flash crowd),
+	// multiplying it by a factor drawn log-uniformly in
+	// [1/DriftStepMax, DriftStepMax].
+	DriftStep float64
+	// DriftStepMax bounds a single step-change factor (default 4; must
+	// be >= 1).
+	DriftStepMax float64
 }
 
 // Plan is a compiled fault schedule. It is stateless and safe for
@@ -82,6 +95,15 @@ const (
 	domClamp
 	domSolver
 	domChannel
+	domDrift
+)
+
+// Drift factors are clamped to this range: a random walk left unbounded
+// would eventually push a load outside any solver-friendly magnitude,
+// and no five-minute interval moves a backbone link by more than this.
+const (
+	driftFloor = 1.0 / 16
+	driftCeil  = 16.0
 )
 
 // NewPlan validates the configuration and returns a plan.
@@ -96,10 +118,21 @@ func NewPlan(cfg Config) (*Plan, error) {
 		{"DatagramDup", cfg.DatagramDup},
 		{"DatagramReorder", cfg.DatagramReorder},
 		{"SolverOverrun", cfg.SolverOverrun},
+		{"DriftStep", cfg.DriftStep},
 	} {
 		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
 			return nil, fmt.Errorf("faults: %s = %v, want a probability in [0, 1]", p.name, p.v)
 		}
+	}
+	if math.IsNaN(cfg.DriftVol) || math.IsInf(cfg.DriftVol, 0) || cfg.DriftVol < 0 {
+		return nil, fmt.Errorf("faults: DriftVol = %v, want a finite value >= 0", cfg.DriftVol)
+	}
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
+	if cfg.DriftStepMax == 0 {
+		cfg.DriftStepMax = 4
+	}
+	if math.IsNaN(cfg.DriftStepMax) || math.IsInf(cfg.DriftStepMax, 0) || cfg.DriftStepMax < 1 {
+		return nil, fmt.Errorf("faults: DriftStepMax = %v, want >= 1", cfg.DriftStepMax)
 	}
 	if cfg.MaxOutage < 0 {
 		return nil, fmt.Errorf("faults: MaxOutage = %d, want >= 0", cfg.MaxOutage)
@@ -211,4 +244,30 @@ func (p *Plan) SolverOverrun(t int) bool {
 		return false
 	}
 	return p.source(domSolver, uint64(t), 0).Bernoulli(p.cfg.SolverOverrun)
+}
+
+// LoadDrift returns the cumulative drift factor of link's true load at
+// interval t: the product of the per-interval random-walk and
+// step-change multipliers up to and including t, clamped to
+// [1/16, 16]. Interval 0 is the reference (factor 1). Like every fault
+// draw, the answer is a pure function of (seed, t, link): querying the
+// same interval twice — or from concurrent study jobs — always yields
+// the same factor.
+func (p *Plan) LoadDrift(t int, link topology.LinkID) float64 {
+	if (p.cfg.DriftVol <= 0 && p.cfg.DriftStep <= 0) || t <= 0 {
+		return 1
+	}
+	f := 1.0
+	logMax := math.Log(p.cfg.DriftStepMax)
+	for tau := 1; tau <= t; tau++ {
+		r := p.source(domDrift, uint64(tau), uint64(link))
+		if p.cfg.DriftVol > 0 {
+			f *= math.Exp(p.cfg.DriftVol * r.NormFloat64())
+		}
+		if p.cfg.DriftStep > 0 && r.Bernoulli(p.cfg.DriftStep) {
+			f *= math.Exp((2*r.Float64() - 1) * logMax)
+		}
+		f = math.Min(driftCeil, math.Max(driftFloor, f))
+	}
+	return f
 }

@@ -12,8 +12,9 @@ import (
 // recovery guarantee re-executes intervals against it. The encoding is
 // versioned and bit-exact (floats as IEEE-754 bits).
 
-// configVersion stamps the Config binary encoding.
-const configVersion = 1
+// configVersion stamps the Config binary encoding. Version 2 added the
+// load-drift fields; version-1 payloads decode with drift disabled.
+const configVersion = 2
 
 // MarshalBinary encodes the configuration deterministically.
 func (c Config) MarshalBinary() ([]byte, error) {
@@ -29,15 +30,21 @@ func (c Config) MarshalBinary() ([]byte, error) {
 	e.F64(c.DatagramDup)
 	e.F64(c.DatagramReorder)
 	e.F64(c.SolverOverrun)
+	e.F64(c.DriftVol)
+	e.F64(c.DriftStep)
+	e.F64(c.DriftStepMax)
 	return e.Data(), nil
 }
 
 // UnmarshalBinary decodes a configuration produced by MarshalBinary,
-// rejecting unknown versions and malformed payloads. The decoded values
-// are exactly the encoded ones; re-validate with NewPlan before use.
+// rejecting unknown versions and malformed payloads. Version-1 payloads
+// (pre-drift) are accepted with the drift fields zero. The decoded
+// values are exactly the encoded ones; re-validate with NewPlan before
+// use.
 func (c *Config) UnmarshalBinary(b []byte) error {
 	d := state.NewDecoder(b)
-	if v := d.U16(); d.Err() == nil && v != configVersion {
+	v := d.U16()
+	if d.Err() == nil && v != 1 && v != configVersion {
 		return fmt.Errorf("faults: unknown config version %d", v)
 	}
 	c.Seed = d.U64()
@@ -50,5 +57,13 @@ func (c *Config) UnmarshalBinary(b []byte) error {
 	c.DatagramDup = d.F64()
 	c.DatagramReorder = d.F64()
 	c.SolverOverrun = d.F64()
+	c.DriftVol = 0
+	c.DriftStep = 0
+	c.DriftStepMax = 0
+	if v >= configVersion {
+		c.DriftVol = d.F64()
+		c.DriftStep = d.F64()
+		c.DriftStepMax = d.F64()
+	}
 	return d.Finish()
 }

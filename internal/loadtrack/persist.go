@@ -1,0 +1,68 @@
+package loadtrack
+
+import (
+	"fmt"
+
+	"netsamp/internal/state"
+)
+
+// State is the tracker's restorable memory: per-link point estimates,
+// relative standard errors and observation ages. It rides inside the
+// controller's versioned snapshot (control state v3), so a recovered
+// run resumes with exactly the confidence intervals it crashed with —
+// a restore that silently reset the widths would let a freshly revived
+// controller trust estimates its predecessor had already written off.
+type State struct {
+	Mean []float64
+	Rel  []float64
+	Age  []int64
+}
+
+// trackerStateVersion stamps the State binary encoding.
+const trackerStateVersion = 1
+
+// MarshalBinary encodes the state deterministically (one shared length
+// prefix, floats as IEEE-754 bits). The three arrays must have equal
+// lengths; Snapshot always produces such a state.
+func (s State) MarshalBinary() ([]byte, error) {
+	if len(s.Rel) != len(s.Mean) || len(s.Age) != len(s.Mean) {
+		return nil, fmt.Errorf("loadtrack: marshal: %d means, %d rels, %d ages", len(s.Mean), len(s.Rel), len(s.Age))
+	}
+	var e state.Encoder
+	e.U16(trackerStateVersion)
+	e.U32(uint32(len(s.Mean)))
+	for _, v := range s.Mean {
+		e.F64(v)
+	}
+	for _, v := range s.Rel {
+		e.F64(v)
+	}
+	for _, v := range s.Age {
+		e.I64(v)
+	}
+	return e.Data(), nil
+}
+
+// UnmarshalBinary decodes a state produced by MarshalBinary, rejecting
+// unknown versions and malformed payloads.
+func (s *State) UnmarshalBinary(b []byte) error {
+	d := state.NewDecoder(b)
+	if v := d.U16(); d.Err() == nil && v != trackerStateVersion {
+		return fmt.Errorf("loadtrack: unknown state version %d", v)
+	}
+	*s = State{}
+	n := d.Len(24)
+	s.Mean = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		s.Mean = append(s.Mean, d.F64())
+	}
+	s.Rel = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		s.Rel = append(s.Rel, d.F64())
+	}
+	s.Age = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		s.Age = append(s.Age, d.I64())
+	}
+	return d.Finish()
+}

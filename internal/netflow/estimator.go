@@ -168,3 +168,26 @@ func PrefixClassifier(t *prefix.Table) ODClassifier {
 		return int(v), true
 	}
 }
+
+// LinkLoadObservation converts one monitor's interval sample into a
+// link-load observation for the controller's confidence tracker
+// (control.StepInput.Loads/LoadRelErr): the transport-loss-renormalized
+// point estimate X/(p·(1−ℓ)·T) in packets per second and its
+// delta-method relative standard error sqrt((1−p_eff)/X) — exactly the
+// inflation SetTransportLoss applies to per-OD estimates, carried
+// through to the load tracker instead of stopping at the estimate.
+// lowConfidence mirrors BinEstimate.LowConfidence: the error crossed
+// LowConfidenceRelErr and the tracker should widen rather than trust
+// (a +Inf relErr makes loadtrack treat the interval as unobserved).
+func LinkLoadObservation(sampled uint64, rate, loss, intervalSec float64) (estimate, relErr float64, lowConfidence bool) {
+	eff := rate * (1 - loss)
+	if !(eff > 0) || eff > 1 || !(intervalSec > 0) {
+		return 0, math.Inf(1), true
+	}
+	estimate = float64(sampled) / (eff * intervalSec)
+	if sampled == 0 {
+		return 0, math.Inf(1), true
+	}
+	relErr = math.Sqrt((1 - eff) / float64(sampled))
+	return estimate, relErr, relErr > LowConfidenceRelErr
+}

@@ -1,0 +1,54 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkLoadObservation(t *testing.T) {
+	est, rel, low := LinkLoadObservation(1000, 0.1, 0, 100)
+	if est != 100 {
+		t.Fatalf("estimate %v, want 100", est)
+	}
+	if want := math.Sqrt(0.9 / 1000); rel != want {
+		t.Fatalf("relErr %v, want %v", rel, want)
+	}
+	if low {
+		t.Fatal("1000 samples at rate 0.1 flagged low-confidence")
+	}
+
+	// Transport loss renormalizes the estimate up and inflates the error:
+	// the surviving records represent more traffic, known less precisely.
+	lossEst, lossRel, _ := LinkLoadObservation(1000, 0.1, 0.5, 100)
+	if lossEst != 200 {
+		t.Fatalf("lossy estimate %v, want 200", lossEst)
+	}
+	if lossRel <= rel {
+		t.Fatalf("loss did not inflate relErr: %v <= %v", lossRel, rel)
+	}
+
+	// A starved observation crosses the low-confidence threshold.
+	_, rel, low = LinkLoadObservation(2, 0.01, 0, 100)
+	if !low || rel <= LowConfidenceRelErr {
+		t.Fatalf("2 samples at rate 0.01: relErr %v, low=%v, want low-confidence", rel, low)
+	}
+
+	// Degenerate inputs yield +Inf error (loadtrack treats the interval
+	// as unobserved) and the low-confidence flag.
+	degenerate := []struct {
+		sampled              uint64
+		rate, loss, interval float64
+	}{
+		{0, 0.1, 0, 100},  // nothing sampled
+		{10, 0, 0, 100},   // monitor off
+		{10, 0.1, 1, 100}, // total transport loss
+		{10, 2, 0, 100},   // nonsensical rate
+		{10, 0.1, 0, 0},   // empty interval
+	}
+	for i, c := range degenerate {
+		est, rel, low := LinkLoadObservation(c.sampled, c.rate, c.loss, c.interval)
+		if est != 0 || !math.IsInf(rel, 1) || !low {
+			t.Errorf("case %d: (%v, %v, %v), want (0, +Inf, true)", i, est, rel, low)
+		}
+	}
+}

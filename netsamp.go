@@ -37,6 +37,7 @@ import (
 	"netsamp/internal/control"
 	"netsamp/internal/core"
 	"netsamp/internal/geant"
+	"netsamp/internal/loadtrack"
 	"netsamp/internal/plan"
 	"netsamp/internal/routing"
 	"netsamp/internal/topology"
@@ -278,3 +279,37 @@ type (
 
 // NewController builds a monitoring controller.
 var NewController = control.New
+
+// Robustness surface: confidence-bounded load tracking and robust
+// solving (internal/loadtrack, core.SolveRobust, control robust mode).
+type (
+	// LoadTracker maintains per-link load confidence intervals from the
+	// monitors' own sampled observations.
+	LoadTracker = loadtrack.Tracker
+	// LoadTrackerConfig tunes a LoadTracker.
+	LoadTrackerConfig = loadtrack.Config
+	// LoadTrackerState is a tracker's serializable snapshot.
+	LoadTrackerState = loadtrack.State
+	// RobustMode selects which edge of the load confidence envelope a
+	// robust solve optimizes against.
+	RobustMode = core.RobustMode
+	// RobustControllerOptions configures a controller's uncertainty-aware
+	// operation (posture, exploration reserve, confidence widening).
+	RobustControllerOptions = control.RobustOptions
+)
+
+// Robust solving postures.
+const (
+	RobustOff         = core.RobustOff
+	RobustPessimistic = core.RobustPessimistic
+	RobustOptimistic  = core.RobustOptimistic
+)
+
+// RobustModeByName resolves "off", "pessimistic" or "optimistic".
+var RobustModeByName = core.RobustModeByName
+
+// NewLoadTracker builds a confidence-interval load tracker.
+var NewLoadTracker = loadtrack.New
+
+// SolveRobust solves against one edge of a load confidence envelope.
+var SolveRobust = core.SolveRobust
