@@ -8,8 +8,10 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // BenchResult is one parsed benchmark line: the benchmark name (with the
@@ -34,9 +36,13 @@ type BenchReport struct {
 }
 
 // cmdBench runs the module's tier-1 benchmark suite under `go test
-// -bench -benchmem` and emits the parsed results as JSON, so CI can
-// archive them and regression tooling can diff runs without re-parsing
-// the textual benchmark format.
+// -bench -benchmem` — or, with -scale, the in-process scale suite — and
+// emits the parsed results as JSON, so CI can archive them and
+// regression tooling can diff runs without re-parsing the textual
+// benchmark format. Results merge into an existing output file by
+// benchmark name (fresh results win), so the scale suite and the go
+// test benchmarks accumulate in one BENCH_results.json instead of
+// clobbering each other.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	pattern := fs.String("pattern", ".", "benchmark name pattern (go test -bench)")
@@ -44,30 +50,14 @@ func cmdBench(args []string) error {
 	count := fs.Int("count", 1, "repetitions per benchmark")
 	out := fs.String("o", "BENCH_results.json", "output file (- for stdout)")
 	pkg := fs.String("pkg", "", "package to benchmark (default: the module root)")
+	scale := fs.Bool("scale", false, "run the scale suite (generated ISP-like instances) instead of go test benchmarks")
+	scaleLinks := fs.String("scale-links", "1000,5000,10000", "comma-separated instance sizes for -scale")
+	scalePairs := fs.Int("scale-pairs-per-link", 0, "OD pairs per link for -scale (0 = generator default)")
+	scaleInterval := fs.Duration("scale-interval", 5*time.Minute, "measurement interval the -scale deadline policy defends")
 	fs.Parse(args)
 	if *count < 1 {
 		return fmt.Errorf("bench: -count %d, want >= 1", *count)
 	}
-
-	dir := *pkg
-	if dir == "" {
-		root, err := moduleRoot()
-		if err != nil {
-			return err
-		}
-		dir = root
-	}
-
-	cmd := exec.Command("go", "test", "-run=NONE",
-		"-bench="+*pattern, "-benchmem",
-		"-benchtime="+*benchtime, "-count="+strconv.Itoa(*count), ".")
-	cmd.Dir = dir
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		return fmt.Errorf("bench: go test: %w\n%s", err, raw)
-	}
-	fmt.Fprint(os.Stderr, string(raw))
 
 	report := BenchReport{
 		GoVersion: runtime.Version(),
@@ -77,14 +67,56 @@ func cmdBench(args []string) error {
 		Benchtime: *benchtime,
 		Count:     *count,
 	}
-	report.Benchmarks, err = parseBenchOutput(string(raw))
-	if err != nil {
-		return err
-	}
-	if len(report.Benchmarks) == 0 {
-		return fmt.Errorf("bench: no benchmark matched pattern %q", *pattern)
+	if *scale {
+		opt := defaultScaleOptions()
+		links, err := parseLinksList(*scaleLinks)
+		if err != nil {
+			return err
+		}
+		opt.links = links
+		opt.pairsPerLink = *scalePairs
+		opt.interval = *scaleInterval
+		results, err := runScaleSuite(opt, func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		})
+		if err != nil {
+			return err
+		}
+		report.Pattern = "ScaleSolve"
+		report.Benchmarks = scaleBenchResults(opt, results)
+	} else {
+		dir := *pkg
+		if dir == "" {
+			root, err := moduleRoot()
+			if err != nil {
+				return err
+			}
+			dir = root
+		}
+
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench="+*pattern, "-benchmem",
+			"-benchtime="+*benchtime, "-count="+strconv.Itoa(*count), ".")
+		cmd.Dir = dir
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("bench: go test: %w\n%s", err, raw)
+		}
+		fmt.Fprint(os.Stderr, string(raw))
+
+		report.Benchmarks, err = parseBenchOutput(string(raw))
+		if err != nil {
+			return err
+		}
+		if len(report.Benchmarks) == 0 {
+			return fmt.Errorf("bench: no benchmark matched pattern %q", *pattern)
+		}
 	}
 
+	if *out != "-" {
+		report = mergeBenchReport(*out, report)
+	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -99,6 +131,35 @@ func cmdBench(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(report.Benchmarks), *out)
 	return nil
+}
+
+// mergeBenchReport folds an existing report file into fresh: benchmarks
+// union by name with fresh results winning, sorted by name for stable
+// diffs. The fresh run's metadata (pattern, benchtime, toolchain) wins;
+// an unreadable or malformed existing file is treated as absent rather
+// than blocking the new results.
+func mergeBenchReport(path string, fresh BenchReport) BenchReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var old BenchReport
+	if json.Unmarshal(raw, &old) != nil {
+		return fresh
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		seen[b.Name] = true
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			fresh.Benchmarks = append(fresh.Benchmarks, b)
+		}
+	}
+	sort.Slice(fresh.Benchmarks, func(i, j int) bool {
+		return fresh.Benchmarks[i].Name < fresh.Benchmarks[j].Name
+	})
+	return fresh
 }
 
 // parseBenchOutput extracts the benchmark lines from go test output. A

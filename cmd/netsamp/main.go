@@ -146,6 +146,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdBench(args)
 	case "topo":
 		err = cmdTopo(args)
+	case "scale":
+		err = cmdScale(args)
 	case "all":
 		err = cmdAll(args)
 	case "-h", "--help", "help":
@@ -178,7 +180,8 @@ commands:
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
   export-spec  dump a built-in scenario as an editable .netsamp file
-  bench        run the benchmark suite and emit BENCH_results.json
+  bench        run the benchmark suite and emit BENCH_results.json (-scale for the scale suite)
+  scale        solve generated ISP-scale instances under the deadline policy
   topo         emit the synthetic GEANT topology in DOT format
   all          run every experiment in sequence
 

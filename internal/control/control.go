@@ -67,6 +67,12 @@ type Options struct {
 	// uncertain links. The zero value (RobustOff) preserves the plain
 	// EWMA controller bit-for-bit.
 	Robust RobustOptions
+	// Approx enables the deadline-aware approximation policy: when the
+	// exact solve is predicted to overrun SolveTimeout, the interval is
+	// served by core.SolveApprox (Frank-Wolfe with a duality-gap
+	// certificate) instead of degrading to the stale fallback plan. The
+	// zero value disables the policy.
+	Approx ApproxPolicy
 	// Solve carries the inner solver options.
 	Solve core.Options
 }
@@ -85,6 +91,62 @@ type RobustOptions struct {
 	// confidence widening (default 1.25; must be >= 1, see
 	// loadtrack.Config.WidenFactor).
 	WidenFactor float64
+}
+
+// ApproxPolicy tunes the deadline-aware approximation fallback. The
+// policy must be deterministic — the controller is replayable from its
+// inputs, so it never consults the wall clock. Instead it predicts the
+// exact solver's cost from problem size with a calibrated throughput
+// model:
+//
+//	predicted seconds = NNZ · ExactIters / ExactRate
+//
+// and routes the interval to core.SolveApprox whenever the prediction
+// exceeds SolveTimeout. The same instance therefore makes the same
+// choice on every machine; ExactRate is the single knob that anchors
+// the model to real hardware (see `netsamp bench -scale`).
+type ApproxPolicy struct {
+	// Enabled turns the policy on. Requires an additive rate model:
+	// SolveApprox's gap certificate needs a concave objective, and New
+	// rejects the combination up front rather than failing intervals.
+	Enabled bool
+	// ExactRate is the calibrated exact-solver throughput in
+	// NNZ·iterations per second; 0 selects 2e6, measured on a single
+	// commodity core (1000-link hierarchical instance, Newton-CG path).
+	ExactRate float64
+	// ExactIters is the iteration count the cost model charges the exact
+	// solver; 0 selects 600 (the observed order of magnitude for
+	// converged active-set runs on generated ISP-like instances).
+	ExactIters int
+	// Opts carries the inner Frank-Wolfe options for approximated
+	// intervals (zero value = SolveApprox defaults).
+	Opts core.ApproxOptions
+}
+
+func (ap ApproxPolicy) exactRate() float64 {
+	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
+	if ap.ExactRate == 0 {
+		return 2e6
+	}
+	return ap.ExactRate
+}
+
+func (ap ApproxPolicy) exactIters() int {
+	if ap.ExactIters == 0 {
+		return 600
+	}
+	return ap.ExactIters
+}
+
+// Overruns is the policy's cost model as a standalone predicate: true
+// when an exact solve over nnz compiled incidence entries is predicted
+// to exceed timeout. Exported so offline tooling (`netsamp bench
+// -scale`) routes instances exactly the way a live controller would.
+func (ap ApproxPolicy) Overruns(nnz int, timeout time.Duration) bool {
+	if timeout <= 0 {
+		return false
+	}
+	return float64(nnz)*float64(ap.exactIters())/ap.exactRate() > timeout.Seconds()
 }
 
 // Decision is the controller's output for one interval.
@@ -117,6 +179,14 @@ type Decision struct {
 	// this interval (ascending LinkID; robust mode with a non-zero
 	// ExplorationFrac only). Their Plan rates include the grant.
 	Explored []topology.LinkID
+	// Approximated reports that the deadline policy routed this
+	// interval's deployed solve to core.SolveApprox because the exact
+	// path was predicted to overrun SolveTimeout.
+	Approximated bool
+	// ApproxGap is the Frank-Wolfe duality-gap certificate of the
+	// deployed solution when Approximated is set: the exact optimum is
+	// provably within ApproxGap of Solution.Objective.
+	ApproxGap float64
 }
 
 // Controller holds the cross-interval state. The zero value is not
@@ -169,6 +239,16 @@ func New(opts Options) (*Controller, error) {
 	}
 	if math.IsNaN(opts.Robust.ExplorationFrac) || opts.Robust.ExplorationFrac < 0 || opts.Robust.ExplorationFrac > 0.5 {
 		return nil, &core.InputError{Field: "exploration fraction", Index: -1, Value: opts.Robust.ExplorationFrac, Reason: "want a fraction of θ in [0, 0.5]"}
+	}
+	ar := opts.Approx.ExactRate
+	if math.IsNaN(ar) || math.IsInf(ar, 0) || ar < 0 {
+		return nil, &core.InputError{Field: "approx exact rate", Index: -1, Value: ar, Reason: "want a finite throughput > 0 in nnz·iters/s (0 = unset selects 2e6)"}
+	}
+	if opts.Approx.ExactIters < 0 {
+		return nil, &core.InputError{Field: "approx exact iters", Index: -1, Value: float64(opts.Approx.ExactIters), Reason: "want >= 0 iterations (0 = unset selects 600)"}
+	}
+	if opts.Approx.Enabled && opts.Model != nil && !opts.Model.Additive() {
+		return nil, &core.InputError{Field: "approx policy", Index: -1, Reason: "rate model " + opts.Model.Name() + " is not additive: SolveApprox's gap certificate needs a concave objective"}
 	}
 	wf := opts.Robust.WidenFactor
 	//netsamp:floateq-ok zero is the unset sentinel, never a computed value
@@ -419,12 +499,23 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 				opt.Initial = warm
 			}
 		}
+		var lo, hi []float64
 		if robust {
-			lo := make([]float64, len(cands))
-			hi := make([]float64, len(cands))
+			lo = make([]float64, len(cands))
+			hi = make([]float64, len(cands))
 			for j, lid := range cands {
 				lo[j], hi[j] = c.tracker.Bounds(int(lid))
 			}
+		}
+		if c.approxNeeded(comp.Solver()) {
+			aopt := c.opts.Approx.Opts
+			aopt.Initial = opt.Initial
+			if robust {
+				return comp.Solver().SolveRobustApprox(c.opts.Robust.Mode, lo, hi, aopt)
+			}
+			return comp.Solver().SolveApprox(aopt)
+		}
+		if robust {
 			return comp.Solver().SolveRobust(c.opts.Robust.Mode, lo, hi, opt)
 		}
 		return comp.Solver().Solve(opt)
@@ -568,11 +659,28 @@ func (c *Controller) trackerConfig() loadtrack.Config {
 // rotating exploration set neither trips SetChanged churn nor leaks
 // into fallback rescaling.
 func (c *Controller) finish(d *Decision, eligible []topology.LinkID) *Decision {
+	if d.Solution != nil && d.Solution.Approx {
+		// Record the deadline policy's choice: operators auditing an
+		// interval can see it was served approximately and how far from
+		// the exact optimum the certificate places it.
+		d.Approximated = true
+		d.ApproxGap = d.Solution.GapBound
+	}
 	if c.opts.Robust.Mode == core.RobustOff || !(c.opts.Robust.ExplorationFrac > 0) {
 		return d
 	}
 	d.Explored = c.explore(d.Plan, eligible)
 	return d
+}
+
+// approxNeeded is the deadline policy's deterministic routing decision:
+// true when the cost model predicts the exact solve on this compiled
+// instance would overrun SolveTimeout. Pure function of problem size
+// and configuration — no clocks — so replays and multi-site deployments
+// route identically.
+func (c *Controller) approxNeeded(s *core.Solver) bool {
+	ap := c.opts.Approx
+	return ap.Enabled && ap.Overruns(s.NNZ(), c.opts.SolveTimeout)
 }
 
 // explore spends the ExplorationFrac·θ reserve on the K eligible links

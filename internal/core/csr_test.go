@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"netsamp/internal/topology"
+)
+
+// csrFromInstance builds a CSRProblem over a generated instance with one
+// shared SRE utility per flow-size class and θ = budgetFrac·Σ U_i.
+func csrFromInstance(t testing.TB, inst *topology.ScaleInstance, budgetFrac float64) *CSRProblem {
+	t.Helper()
+	byClass := map[float64]Utility{}
+	utils := make([]Utility, inst.NumPairs())
+	for k, c := range inst.InvSizes {
+		u, ok := byClass[c]
+		if !ok {
+			u = MustSRE(c)
+			byClass[c] = u
+		}
+		utils[k] = u
+	}
+	return &CSRProblem{
+		Loads:     inst.Loads,
+		Budget:    budgetFrac * inst.MaxSampledRate(),
+		Start:     inst.Start,
+		Links:     inst.Links,
+		Fracs:     inst.Fracs,
+		Utilities: utils,
+	}
+}
+
+// denseFromCSR rebuilds the equivalent dense Problem: one Pair per CSR
+// row, sharing the CSR problem's utility objects.
+func denseFromCSR(p *CSRProblem) *Problem {
+	n := p.NumPairs()
+	pairs := make([]Pair, n)
+	for k := 0; k < n; k++ {
+		lo, hi := p.Start[k], p.Start[k+1]
+		links := make([]int, hi-lo)
+		for j := lo; j < hi; j++ {
+			links[j-lo] = int(p.Links[j])
+		}
+		var fracs []float64
+		if p.Fracs != nil {
+			fracs = append(fracs, p.Fracs[lo:hi]...)
+		}
+		pairs[k] = Pair{Links: links, Fracs: fracs, Utility: p.Utilities[k]}
+	}
+	return &Problem{
+		Loads:  append([]float64(nil), p.Loads...),
+		Budget: p.Budget,
+		Pairs:  pairs,
+		Model:  p.Model,
+	}
+}
+
+func genInstance(t testing.TB, links, pairs int, seed uint64, ecmp bool) *topology.ScaleInstance {
+	t.Helper()
+	inst, err := topology.GenerateScale(topology.ScaleConfig{Seed: seed, Links: links, Pairs: pairs, ECMP: ecmp})
+	if err != nil {
+		t.Fatalf("GenerateScale(links=%d, pairs=%d): %v", links, pairs, err)
+	}
+	return inst
+}
+
+func TestNewSolverCSRValidation(t *testing.T) {
+	valid := func() *CSRProblem {
+		return &CSRProblem{
+			Loads:     []float64{100, 200, 300},
+			Budget:    50,
+			Start:     []int32{0, 2, 3},
+			Links:     []int32{0, 1, 2},
+			Utilities: []Utility{MustSRE(0.01), MustSRE(0.02)},
+		}
+	}
+	if _, err := NewSolverCSR(valid()); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	cases := map[string]func(*CSRProblem){
+		"nil problem":        nil,
+		"zero load":          func(p *CSRProblem) { p.Loads[1] = 0 },
+		"nan load":           func(p *CSRProblem) { p.Loads[0] = math.NaN() },
+		"no links":           func(p *CSRProblem) { p.Loads = nil },
+		"budget zero":        func(p *CSRProblem) { p.Budget = 0 },
+		"budget infeasible":  func(p *CSRProblem) { p.Budget = 1e9 },
+		"start not zero-led": func(p *CSRProblem) { p.Start[0] = 1 },
+		"start non-monotone": func(p *CSRProblem) { p.Start[1] = 3; p.Start[2] = 2 },
+		"start wrong tail":   func(p *CSRProblem) { p.Start[2] = 2 },
+		"empty row":          func(p *CSRProblem) { p.Start[1] = 0 },
+		"link out of range":  func(p *CSRProblem) { p.Links[2] = 3 },
+		"negative link":      func(p *CSRProblem) { p.Links[0] = -1 },
+		"duplicate in row":   func(p *CSRProblem) { p.Links[1] = 0 },
+		"nil utility":        func(p *CSRProblem) { p.Utilities[1] = nil },
+		"missing utilities":  func(p *CSRProblem) { p.Utilities = p.Utilities[:1] },
+		"frac zero":          func(p *CSRProblem) { p.Fracs = []float64{0, 1, 1} },
+		"frac above one":     func(p *CSRProblem) { p.Fracs = []float64{1, 1, 1.5} },
+		"alpha above one":    func(p *CSRProblem) { p.MaxRate = []float64{1, 2, 1} },
+		"alpha zero":         func(p *CSRProblem) { p.MaxRate = []float64{1, 0, 1} },
+		"bad weight":         func(p *CSRProblem) { p.Weights = []float64{1, math.Inf(1)} },
+		"fracs non-frac model": func(p *CSRProblem) {
+			m, err := ModelByName("independent-exact")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Fracs = []float64{1, 0.5, 1}
+			p.Model = m
+		},
+	}
+	for name, mutate := range cases {
+		p := valid()
+		if mutate == nil {
+			p = nil
+		} else {
+			mutate(p)
+		}
+		if _, err := NewSolverCSR(p); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+// TestCSRMatchesDenseBitwise pins the CSR front door to the dense one:
+// the same incidence expressed either way must compile to the same
+// internal state and solve bit-identically (n here is far below the
+// dense-KKT bound, so both run the exact same kernels).
+func TestCSRMatchesDenseBitwise(t *testing.T) {
+	for _, ecmp := range []bool{false, true} {
+		inst := genInstance(t, 300, 600, 9, ecmp)
+		cp := csrFromInstance(t, inst, 0.1)
+		sc, err := NewSolverCSR(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := NewSolver(denseFromCSR(cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solC, err := sc.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solD, err := sd.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solC.Objective != solD.Objective {
+			t.Errorf("ecmp=%v: objective %v (CSR) != %v (dense)", ecmp, solC.Objective, solD.Objective)
+		}
+		for i := range solC.Rates {
+			if solC.Rates[i] != solD.Rates[i] {
+				t.Fatalf("ecmp=%v: rate[%d] %v (CSR) != %v (dense)", ecmp, i, solC.Rates[i], solD.Rates[i])
+			}
+		}
+		for k := range solC.Rho {
+			if solC.Rho[k] != solD.Rho[k] {
+				t.Fatalf("ecmp=%v: rho[%d] %v (CSR) != %v (dense)", ecmp, k, solC.Rho[k], solD.Rho[k])
+			}
+		}
+	}
+}
+
+func csrFeasibility(t *testing.T, p *CSRProblem, sol *Solution, budgetSlack bool) {
+	t.Helper()
+	spend := 0.0
+	for i, r := range sol.Rates {
+		if r < -1e-12 || r > 1+1e-12 {
+			t.Fatalf("rate[%d] = %v out of [0, 1]", i, r)
+		}
+		spend += r * p.Loads[i]
+	}
+	if budgetSlack {
+		if spend > p.Budget*(1+1e-9) {
+			t.Fatalf("budget overspent: %v > %v", spend, p.Budget)
+		}
+	} else if math.Abs(spend-p.Budget) > 1e-6*p.Budget {
+		t.Fatalf("budget off: spend %v, want %v", spend, p.Budget)
+	}
+}
+
+// TestCSRLargeNewtonCG drives the matrix-free Newton-KKT path (the free
+// set exceeds the dense-KKT bound) and brackets its optimum with the
+// Frank-Wolfe duality gap: exact must land inside [approx, approx+gap]
+// up to rounding.
+func TestCSRLargeNewtonCG(t *testing.T) {
+	inst := genInstance(t, 1000, 3000, 5, false)
+	cp := csrFromInstance(t, inst, 0.05)
+	s, err := NewSolverCSR(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLinks() <= denseKKTMaxFree {
+		t.Fatalf("instance too small to exercise the CG path: n = %d", s.NumLinks())
+	}
+	sol, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stats.Converged {
+		t.Fatalf("exact solve did not converge in %d iterations", sol.Stats.Iterations)
+	}
+	csrFeasibility(t, cp, sol, false)
+
+	sa, err := NewSolverCSR(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := sa.SolveApprox(ApproxOptions{GapTol: 1e-4, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := math.Max(1, math.Abs(apx.Objective))
+	if sol.Objective < apx.Objective-1e-7*scale {
+		t.Errorf("exact objective %v below approx %v", sol.Objective, apx.Objective)
+	}
+	if sol.Objective > apx.Objective+apx.GapBound+1e-7*scale {
+		t.Errorf("exact objective %v above approx+gap %v", sol.Objective, apx.Objective+apx.GapBound)
+	}
+}
+
+func TestCSRSolverRetune(t *testing.T) {
+	inst := genInstance(t, 300, 400, 13, false)
+	cp := csrFromInstance(t, inst, 0.1)
+	s, err := NewSolverCSR(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol1, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-tune budget and loads, solve, then restore: the restored solve
+	// must be bit-identical to the first (workspace state fully reset).
+	if err := s.SetBudget(cp.Budget / 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBudget(cp.Budget); err != nil {
+		t.Fatal(err)
+	}
+	sol3, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol1.Objective != sol3.Objective {
+		t.Fatalf("objective drifted across retune round-trip: %v != %v", sol1.Objective, sol3.Objective)
+	}
+	for i := range sol1.Rates {
+		if sol1.Rates[i] != sol3.Rates[i] {
+			t.Fatalf("rate[%d] drifted across retune round-trip", i)
+		}
+	}
+}
+
+func TestCSRTypedErrors(t *testing.T) {
+	p := &CSRProblem{
+		Loads:     []float64{100, -5},
+		Budget:    10,
+		Start:     []int32{0, 1},
+		Links:     []int32{0},
+		Utilities: []Utility{MustSRE(0.01)},
+	}
+	_, err := NewSolverCSR(p)
+	if err == nil {
+		t.Fatal("negative load accepted")
+	}
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %T is not *InputError", err)
+	}
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatal("error does not match ErrInvalidInput")
+	}
+}

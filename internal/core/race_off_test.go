@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// See race_on_test.go.
+const raceTest = false

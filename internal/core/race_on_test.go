@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceTest shrinks the sharded-kernel tests under the race detector:
+// the determinism contract is exercised identically, but the ~20×
+// instrumentation slowdown would otherwise dominate the CI race job.
+const raceTest = true

@@ -79,6 +79,37 @@ func (s *Solver) SolveRobust(mode RobustMode, lower, upper []float64, opt Option
 	if mode == RobustOff {
 		return s.Solve(opt)
 	}
+	initial, err := s.retuneEnvelope(mode, lower, upper, opt.Initial)
+	if err != nil {
+		return nil, err
+	}
+	opt.Initial = initial
+	return s.Solve(opt)
+}
+
+// SolveRobustApprox is SolveRobust routed through the Frank-Wolfe
+// approximation path (control's deadline policy under a robust posture):
+// the solver is re-tuned onto the chosen envelope edge exactly as in
+// SolveRobust, then solved by SolveApprox. The same retune-state caveat
+// applies.
+func (s *Solver) SolveRobustApprox(mode RobustMode, lower, upper []float64, opt ApproxOptions) (*Solution, error) {
+	if mode == RobustOff {
+		return s.SolveApprox(opt)
+	}
+	initial, err := s.retuneEnvelope(mode, lower, upper, opt.Initial)
+	if err != nil {
+		return nil, err
+	}
+	opt.Initial = initial
+	return s.SolveApprox(opt)
+}
+
+// retuneEnvelope validates the load envelope, re-tunes the solver onto
+// the chosen edge (clamping the budget when the optimistic edge shrinks
+// the maximum samplable rate below it), and re-projects the caller's
+// warm start onto the re-tuned feasible set. It returns the (possibly
+// replaced, possibly dropped) initial point.
+func (s *Solver) retuneEnvelope(mode RobustMode, lower, upper, initial []float64) ([]float64, error) {
 	if mode != RobustPessimistic && mode != RobustOptimistic {
 		return nil, invalidInput("robust mode", -1, float64(mode), "want off, pessimistic or optimistic")
 	}
@@ -112,15 +143,15 @@ func (s *Solver) SolveRobust(mode RobustMode, lower, upper []float64, opt Option
 	if err := s.SetLoads(env); err != nil {
 		return nil, err
 	}
-	if opt.Initial != nil {
-		warm, err := WarmStartRates(opt.Initial, s.Problem(), nil)
+	if initial != nil {
+		warm, err := WarmStartRates(initial, s.Problem(), nil)
 		if err != nil {
-			opt.Initial = nil
+			initial = nil
 		} else {
-			opt.Initial = warm
+			initial = warm
 		}
 	}
-	return s.Solve(opt)
+	return initial, nil
 }
 
 // SolveRobust is the one-shot form: it compiles p and solves against

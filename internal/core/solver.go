@@ -87,6 +87,13 @@ type Solution struct {
 	// LowerMult and UpperMult are the multipliers ν_i (p_i ≥ 0) and μ_i
 	// (p_i ≤ α_i); entries are zero for inactive constraints.
 	LowerMult, UpperMult []float64
+	// Approx reports that this solution came from the Frank-Wolfe
+	// approximation path (SolveApprox) rather than the exact KKT solver.
+	Approx bool
+	// GapBound is the duality-gap certificate of an approximate solution:
+	// the exact optimum satisfies f* ≤ Objective + GapBound. Zero for
+	// exact solves (whose certificate is Stats.Converged).
+	GapBound float64
 	// Stats describes the run.
 	Stats Stats
 }

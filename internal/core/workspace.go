@@ -43,16 +43,40 @@ type Solver struct {
 	fracs []float64
 	utils []Utility
 	wts   []float64
+	// baseWts backs SetWeights(nil) for CSR-compiled solvers, which have
+	// no Pair headers to read the problem weights back from. Nil for
+	// solvers built by NewSolver.
+	baseWts []float64
 
 	// Scratch buffers of the gradient-projection iteration.
 	rates, g, d, sdir, prevD []float64
 	lower, upper             []bool
 
 	// Scratch of the Newton-KKT step: the bordered system over the free
-	// coordinates (at most (n+1)×(n+1)) and the link → free-position map.
+	// coordinates — dense only while the free set stays small (the matrix
+	// is at most (denseKKTMaxFree+1)², never (n+1)², so a 10k-link solver
+	// does not carry an 800 MB buffer) — and the link → free-position map.
 	kkt     []float64
 	kktRHS  []float64
 	freePos []int32
+
+	// Scratch of the matrix-free projected-CG Newton step used when the
+	// free set outgrows the dense KKT factorization: per-pair curvature
+	// coefficients and the CG work vectors. Only allocated for solvers
+	// with n > denseKKTMaxFree.
+	curv          []float64
+	cgR, cgP, cgA []float64
+
+	// Scratch of the Frank-Wolfe approximation path (SolveApprox): the
+	// LMO's ratio keys and index permutation.
+	lmoIdx   []int32
+	lmoRatio []float64
+
+	// sh is the sharding state: when a worker pool is attached via Shard,
+	// the pair-loop kernels (gradient, line search, Hessian products,
+	// solution assembly) fan out over fixed-size pair chunks with an
+	// ordered reduction, so results are bit-identical at any worker count.
+	sh shardState
 }
 
 // NewSolver validates p and compiles it into a reusable workspace.
@@ -74,22 +98,8 @@ func NewSolver(p *Problem) (*Solver, error) {
 		start:  make([]int32, len(p.Pairs)+1),
 		utils:  make([]Utility, len(p.Pairs)),
 		wts:    make([]float64, len(p.Pairs)),
-		rates:   make([]float64, n),
-		g:       make([]float64, n),
-		d:       make([]float64, n),
-		sdir:    make([]float64, n),
-		prevD:   make([]float64, n),
-		lower:   make([]bool, n),
-		upper:   make([]bool, n),
-		kkt:     make([]float64, (n+1)*(n+1)),
-		kktRHS:  make([]float64, n+1),
-		freePos: make([]int32, n),
 	}
-	s.p = &s.prob
-	s.model = s.prob.model()
-	for i, u := range s.prob.Loads {
-		s.maxSampled += s.prob.alpha(i) * u
-	}
+	s.initScratch()
 	nnz := 0
 	hasFracs := false
 	for k := range p.Pairs {
@@ -119,6 +129,48 @@ func NewSolver(p *Problem) (*Solver, error) {
 		s.wts[k] = pr.weight()
 	}
 	return s, nil
+}
+
+// denseKKTMaxFree caps the free-coordinate count handled by the dense
+// bordered Newton-KKT factorization. Below it the (nf+1)² system is
+// assembled and eliminated in place — exactly the pre-scale behavior, so
+// every small-instance result stays bitwise identical. Above it the step
+// comes from the matrix-free projected-CG kernel (newtoncg.go), whose
+// memory is O(n + nPairs) instead of O(n²).
+const denseKKTMaxFree = 512
+
+// initScratch sizes the solver-owned work buffers once s.prob, s.n and
+// s.nPairs are populated. Shared by NewSolver and NewSolverCSR.
+func (s *Solver) initScratch() {
+	n := s.n
+	s.p = &s.prob
+	s.model = s.prob.model()
+	s.maxSampled = 0
+	for i, u := range s.prob.Loads {
+		s.maxSampled += s.prob.alpha(i) * u
+	}
+	s.rates = make([]float64, n)
+	s.g = make([]float64, n)
+	s.d = make([]float64, n)
+	s.sdir = make([]float64, n)
+	s.prevD = make([]float64, n)
+	s.lower = make([]bool, n)
+	s.upper = make([]bool, n)
+	kktDim := n
+	if kktDim > denseKKTMaxFree {
+		kktDim = denseKKTMaxFree
+	}
+	s.kkt = make([]float64, (kktDim+1)*(kktDim+1))
+	s.kktRHS = make([]float64, n+1)
+	s.freePos = make([]int32, n)
+	if n > denseKKTMaxFree {
+		s.curv = make([]float64, s.nPairs)
+		s.cgR = make([]float64, n)
+		s.cgP = make([]float64, n)
+		s.cgA = make([]float64, n)
+	}
+	s.lmoIdx = make([]int32, n)
+	s.lmoRatio = make([]float64, n)
 }
 
 // Problem returns the compiled problem: the Solver's private copy,
@@ -179,8 +231,11 @@ func (s *Solver) SetUtilities(us []Utility) error {
 		}
 	}
 	copy(s.utils, us)
-	for k := range us {
-		s.prob.Pairs[k].Utility = us[k]
+	// A CSR-compiled solver has no Pair headers to mirror into.
+	if s.prob.Pairs != nil {
+		for k := range us {
+			s.prob.Pairs[k].Utility = us[k]
+		}
 	}
 	return nil
 }
@@ -191,6 +246,12 @@ func (s *Solver) SetUtilities(us []Utility) error {
 // The underlying Problem is not modified.
 func (s *Solver) SetWeights(w []float64) error {
 	if w == nil {
+		if s.p.Pairs == nil {
+			// CSR-compiled solver: the compiled weights (CSRProblem.Weights,
+			// default 1) are the problem's weights; restore them.
+			copy(s.wts, s.baseWts)
+			return nil
+		}
 		for k := range s.wts {
 			s.wts[k] = s.p.Pairs[k].weight()
 		}
@@ -420,6 +481,12 @@ func (s *Solver) newtonInto(out, rates, g []float64, lower, upper []bool) bool {
 	if nf == 0 {
 		return false
 	}
+	if nf > denseKKTMaxFree {
+		// The bordered dense system would need (nf+1)² floats and an
+		// O(nf³) elimination; at scale the projected-CG kernel computes
+		// the same step from Hessian-vector products over the CSR rows.
+		return s.newtonCGInto(out, rates, g, nf)
+	}
 	m := nf + 1
 	K := s.kkt[:m*m]
 	for i := range K {
@@ -553,6 +620,10 @@ func (s *Solver) rho(k int, rates []float64) float64 {
 // gradient writes ∂/∂p_i Σ_k w_k·M_k(ρ_k) into out.
 //netsamp:noalloc
 func (s *Solver) gradient(rates, out []float64) {
+	if s.sh.pool != nil {
+		s.shardGradient(rates, out)
+		return
+	}
 	for i := range out {
 		out[i] = 0
 	}
@@ -569,6 +640,9 @@ func (s *Solver) gradient(rates, out []float64) {
 // over the compiled incidence (see Problem.lineDerivs for the math).
 //netsamp:noalloc
 func (s *Solver) lineDerivs(rates, dir []float64, t float64) (d1, d2 float64) {
+	if s.sh.pool != nil {
+		return s.shardLineDerivs(rates, dir, t)
+	}
 	for k := 0; k < s.nPairs; k++ {
 		lo, hi := s.start[k], s.start[k+1]
 		e1, e2 := s.model.lineTermsCSR(s.links[lo:hi], s.csrFracs(lo, hi), rates, dir, t, s.utils[k], s.wts[k])
@@ -661,14 +735,20 @@ func (s *Solver) finishInto(sol *Solution, rates, g []float64, stats Stats, conv
 	sol.Rho = resizeFloats(sol.Rho, s.nPairs)
 	sol.Utilities = resizeFloats(sol.Utilities, s.nPairs)
 	obj := 0.0
-	for k := 0; k < s.nPairs; k++ {
-		rho := s.rho(k, rates)
-		u := s.utils[k].Value(rho)
-		sol.Rho[k] = rho
-		sol.Utilities[k] = u
-		obj += s.wts[k] * u
+	if s.sh.pool != nil {
+		obj = s.shardFinish(rates, sol.Rho, sol.Utilities)
+	} else {
+		for k := 0; k < s.nPairs; k++ {
+			rho := s.rho(k, rates)
+			u := s.utils[k].Value(rho)
+			sol.Rho[k] = rho
+			sol.Utilities[k] = u
+			obj += s.wts[k] * u
+		}
 	}
 	sol.Objective = obj
+	sol.GapBound = 0
+	sol.Approx = false
 	sol.Lambda = lambda
 	sol.LowerMult = resizeFloats(sol.LowerMult, n)
 	sol.UpperMult = resizeFloats(sol.UpperMult, n)

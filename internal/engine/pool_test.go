@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForRunsEveryIndexOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1000
+	var counts [n]int32
+	p.For(n, func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestPoolForRepeatedLoops(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total int64
+	for round := 0; round < 50; round++ {
+		p.For(64, func(i int) {
+			atomic.AddInt64(&total, int64(i))
+		})
+	}
+	want := int64(50 * 64 * 63 / 2)
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestPoolForZeroAndNegative(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	p.For(0, func(int) { ran = true })
+	p.For(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for a non-positive index count")
+	}
+}
+
+func TestPoolDefaultWorkerCount(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var completed int32
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("For did not re-panic")
+			}
+			var pe *PoolPanicError
+			err, ok := v.(error)
+			if !ok || !errors.As(err, &pe) {
+				t.Fatalf("panic value %T is not a *PoolPanicError", v)
+			}
+			if !strings.Contains(pe.Error(), "boom at 7") {
+				t.Fatalf("panic error misses original value: %q", pe.Error())
+			}
+		}()
+		p.For(64, func(i int) {
+			if i == 7 {
+				panic("boom at 7")
+			}
+			atomic.AddInt32(&completed, 1)
+		})
+	}()
+	if completed != 63 {
+		t.Fatalf("%d sibling indices completed, want 63 (loop must drain)", completed)
+	}
+	// The pool must remain usable after a panic, with the panic cleared.
+	var ok int32
+	p.For(16, func(i int) { atomic.AddInt32(&ok, 1) })
+	if ok != 16 {
+		t.Fatalf("post-panic loop ran %d of 16 indices", ok)
+	}
+}
+
+func TestPoolForZeroAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink [256]int64
+	fn := func(i int) { sink[i]++ }
+	// Warm up (lazily grown runtime structures don't count against the
+	// steady state).
+	p.For(256, fn)
+	allocs := testing.AllocsPerRun(20, func() {
+		p.For(256, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("Pool.For allocates %v per loop, want 0", allocs)
+	}
+}

@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"fmt"
+
+	"netsamp/internal/core"
+	"netsamp/internal/engine"
+	"netsamp/internal/plan"
+	"netsamp/internal/topology"
+)
+
+// ScaleStudy quantifies what the Internet-scale path trades away: on
+// deterministic generated ISP-like instances it solves each size both
+// exactly (Newton-KKT / Newton-CG) and approximately (Frank-Wolfe) and
+// reports the certified duality gap, alongside a worker-count sweep
+// checking the sharded kernels' bit-identity contract. It deliberately
+// measures no wall-clock time — eval is replayable and timing belongs
+// to `netsamp bench -scale` — so the study isolates the *accuracy* cost
+// of approximation from the *speed* argument for it.
+
+// ScaleStudyConfig parameterizes ScaleStudy. The zero value of every
+// field except Links selects a sensible default.
+type ScaleStudyConfig struct {
+	// Seed drives the topology generator (instances are pure functions
+	// of it).
+	Seed uint64
+	// Links lists the instance sizes to study (total directed links).
+	Links []int
+	// PairsPerLink scales the OD-pair count as PairsPerLink·Links;
+	// 0 selects 3 (large enough to exercise the CG path, small enough
+	// that the exact solve stays tractable in a test suite).
+	PairsPerLink int
+	// BudgetFrac is θ as a fraction of the instance's maximum sampled
+	// rate; 0 selects 0.05.
+	BudgetFrac float64
+	// Workers lists the shard worker counts checked for bit-identity
+	// against the single-worker sharded solve; nil selects {2, 4}.
+	Workers []int
+	// Exact and Approx carry the inner solver options.
+	Exact  core.Options
+	Approx core.ApproxOptions
+	// ShardCheckIters bounds the bit-identity solves' iterations; 0
+	// selects 12 (exact) and 40 (approx). Bit-identity is a property of
+	// the whole iteration path, so checking a truncated prefix is sound
+	// — and far cheaper than re-converging per worker count.
+	ShardCheckIters int
+}
+
+// ScalePoint is one instance size's exact-versus-approximate outcome.
+type ScalePoint struct {
+	Links, Pairs, NNZ int
+	// Exact solver outcome.
+	ExactObjective  float64
+	ExactIterations int
+	ExactConverged  bool
+	// Frank-Wolfe outcome with its certificate: the exact optimum is
+	// provably within GapBound of ApproxObjective.
+	ApproxObjective  float64
+	ApproxIterations int
+	GapBound         float64
+	// GapRelative normalizes GapBound by max(1, |ApproxObjective|).
+	GapRelative float64
+	// ShardBitIdentical reports that every tested worker count
+	// reproduced the single-worker sharded solve bit for bit (rates,
+	// objective and gap), for both the exact and approximate paths.
+	ShardBitIdentical bool
+	WorkersTested     []int
+}
+
+func (c ScaleStudyConfig) pairsPerLink() int {
+	if c.PairsPerLink <= 0 {
+		return 3
+	}
+	return c.PairsPerLink
+}
+
+func (c ScaleStudyConfig) budgetFrac() float64 {
+	if !(c.BudgetFrac > 0) {
+		return 0.05
+	}
+	return c.BudgetFrac
+}
+
+func (c ScaleStudyConfig) workers() []int {
+	if c.Workers == nil {
+		return []int{2, 4}
+	}
+	return c.Workers
+}
+
+// ScaleStudy runs the study. Results are deterministic functions of the
+// configuration: same config, same numbers, on any machine and at any
+// concurrency.
+func ScaleStudy(cfg ScaleStudyConfig) ([]ScalePoint, error) {
+	if len(cfg.Links) == 0 {
+		return nil, fmt.Errorf("eval: scale study needs at least one instance size")
+	}
+	points := make([]ScalePoint, 0, len(cfg.Links))
+	for _, links := range cfg.Links {
+		pt, err := scalePoint(cfg, links)
+		if err != nil {
+			return nil, fmt.Errorf("eval: scale study at %d links: %w", links, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func scalePoint(cfg ScaleStudyConfig, links int) (ScalePoint, error) {
+	inst, err := topology.GenerateScale(topology.ScaleConfig{
+		Seed:  cfg.Seed,
+		Links: links,
+		Pairs: cfg.pairsPerLink() * links,
+		ECMP:  true,
+	})
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	budget := cfg.budgetFrac() * inst.MaxSampledRate()
+	cp, err := plan.BuildScale(inst, budget, nil)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	s, err := core.NewSolverCSR(cp)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	exact, err := s.Solve(cfg.Exact)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	apx, err := s.SolveApprox(cfg.Approx)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	pt := ScalePoint{
+		Links:            len(inst.Loads),
+		Pairs:            inst.NumPairs(),
+		NNZ:              inst.NNZ(),
+		ExactObjective:   exact.Objective,
+		ExactIterations:  exact.Stats.Iterations,
+		ExactConverged:   exact.Stats.Converged,
+		ApproxObjective:  apx.Objective,
+		ApproxIterations: apx.Stats.Iterations,
+		GapBound:         apx.GapBound,
+		WorkersTested:    cfg.workers(),
+	}
+	scale := pt.ApproxObjective
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	pt.GapRelative = pt.GapBound / scale
+	pt.ShardBitIdentical, err = shardIdentity(cp, cfg, pt.WorkersTested)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	return pt, nil
+}
+
+// shardIdentity checks the sharding contract on one compiled instance:
+// every worker count must reproduce the single-worker sharded solve
+// bit for bit, on both solver paths.
+func shardIdentity(cp *core.CSRProblem, cfg ScaleStudyConfig, workers []int) (bool, error) {
+	base, err := shardedSolves(cp, cfg, 1)
+	if err != nil {
+		return false, err
+	}
+	for _, w := range workers {
+		got, err := shardedSolves(cp, cfg, w)
+		if err != nil {
+			return false, err
+		}
+		for i := range got {
+			if !bitIdentical(&got[i], &base[i]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func shardedSolves(cp *core.CSRProblem, cfg ScaleStudyConfig, workers int) ([2]core.Solution, error) {
+	var out [2]core.Solution
+	s, err := core.NewSolverCSR(cp)
+	if err != nil {
+		return out, err
+	}
+	pool := engine.NewPool(workers)
+	defer pool.Close()
+	s.Shard(pool)
+	exOpt, apOpt := cfg.Exact, cfg.Approx
+	exOpt.MaxIter, apOpt.MaxIter = 12, 40
+	if cfg.ShardCheckIters > 0 {
+		exOpt.MaxIter, apOpt.MaxIter = cfg.ShardCheckIters, cfg.ShardCheckIters
+	}
+	if err := s.SolveInto(&out[0], exOpt); err != nil {
+		return out, err
+	}
+	if err := s.SolveApproxInto(&out[1], apOpt); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func bitIdentical(a, b *core.Solution) bool {
+	//netsamp:floateq-ok bit-identity is the property under test, not a tolerance check
+	if a.Objective != b.Objective || a.GapBound != b.GapBound {
+		return false
+	}
+	if len(a.Rates) != len(b.Rates) {
+		return false
+	}
+	for i := range a.Rates {
+		//netsamp:floateq-ok bit-identity is the property under test, not a tolerance check
+		if a.Rates[i] != b.Rates[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"netsamp/internal/core"
+	"netsamp/internal/geant"
+	"netsamp/internal/plan"
+)
+
+func TestScaleStudy(t *testing.T) {
+	pts, err := ScaleStudy(ScaleStudyConfig{
+		Seed:  11,
+		Links: []int{300, 500},
+		Exact: core.Options{MaxIter: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.NNZ <= pt.Pairs {
+			t.Fatalf("%d links: NNZ %d implausible for %d pairs", pt.Links, pt.NNZ, pt.Pairs)
+		}
+		if !pt.ExactConverged {
+			t.Errorf("%d links: exact solve did not converge in %d iterations", pt.Links, pt.ExactIterations)
+		}
+		scale := math.Max(1, math.Abs(pt.ExactObjective))
+		// The certificate must bracket the exact optimum.
+		if pt.ApproxObjective > pt.ExactObjective+1e-7*scale {
+			t.Errorf("%d links: approx objective %v beats exact %v", pt.Links, pt.ApproxObjective, pt.ExactObjective)
+		}
+		if pt.ExactObjective > pt.ApproxObjective+pt.GapBound+1e-7*scale {
+			t.Errorf("%d links: gap bound unsound: exact %v > approx %v + gap %v",
+				pt.Links, pt.ExactObjective, pt.ApproxObjective, pt.GapBound)
+		}
+		if pt.GapBound < 0 || math.IsNaN(pt.GapBound) || pt.GapRelative < 0 {
+			t.Errorf("%d links: bad certificate: gap %v rel %v", pt.Links, pt.GapBound, pt.GapRelative)
+		}
+		if !pt.ShardBitIdentical {
+			t.Errorf("%d links: sharded solves not bit-identical across worker counts %v",
+				pt.Links, pt.WorkersTested)
+		}
+	}
+}
+
+func TestScaleStudyRejectsEmpty(t *testing.T) {
+	if _, err := ScaleStudy(ScaleStudyConfig{}); err == nil {
+		t.Fatal("empty study accepted")
+	}
+}
+
+// TestApproxGapSoundOnGEANTThetaGrid pins the Frank-Wolfe certificate
+// on the paper's own scenario across the Figure 2 budget sweep: at
+// every θ the exact optimum must lie within [approx, approx + gap].
+func TestApproxGapSoundOnGEANTThetaGrid(t *testing.T) {
+	s := geant.MustBuild(1)
+	inv := s.UtilityParams(Interval)
+	for _, theta := range DefaultThetas() {
+		budget := core.BudgetPerInterval(theta, Interval)
+		prob, _, err := plan.Build(plan.Input{
+			Matrix:       s.Matrix,
+			Loads:        s.Loads,
+			Candidates:   s.MonitorLinks,
+			InvMeanSizes: inv,
+			Budget:       budget,
+		})
+		if err != nil {
+			t.Fatalf("θ=%v: %v", theta, err)
+		}
+		exact, err := core.Solve(prob, core.Options{})
+		if err != nil {
+			t.Fatalf("θ=%v: exact: %v", theta, err)
+		}
+		solver, err := core.NewSolver(prob)
+		if err != nil {
+			t.Fatalf("θ=%v: %v", theta, err)
+		}
+		apx, err := solver.SolveApprox(core.ApproxOptions{})
+		if err != nil {
+			t.Fatalf("θ=%v: approx: %v", theta, err)
+		}
+		if !apx.Approx || apx.GapBound < 0 || math.IsNaN(apx.GapBound) {
+			t.Fatalf("θ=%v: bad certificate: approx=%v gap=%v", theta, apx.Approx, apx.GapBound)
+		}
+		scale := math.Max(1, math.Abs(exact.Objective))
+		if apx.Objective > exact.Objective+1e-7*scale {
+			t.Errorf("θ=%v: approx objective %v beats exact %v", theta, apx.Objective, exact.Objective)
+		}
+		if exact.Objective > apx.Objective+apx.GapBound+1e-7*scale {
+			t.Errorf("θ=%v: gap bound unsound: exact %v > approx %v + gap %v",
+				theta, exact.Objective, apx.Objective, apx.GapBound)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"netsamp/internal/rng"
+)
+
+// Deterministic ISP-scale topology generator. GEANT (~23 PoPs, ~74
+// links) fits in cache; the scale tier needs hierarchical ISP-like
+// graphs up to 10⁴ links and 10⁶ OD pairs, with the routing matrix
+// emitted directly in the solver's CSR layout — a million Pair headers
+// with per-pair link slices would defeat the point.
+//
+// Structure (the classic core/aggregation/edge hierarchy):
+//
+//   - core: a duplex ring plus random chords (redundant backbone mesh),
+//     OC-192, IGP weight 10;
+//   - aggregation: each agg PoP homes onto two distinct core PoPs,
+//     chosen by preferential attachment — core attachment degrees come
+//     out power-law-ish, like real ISP maps — OC-48, weight 20;
+//   - edge: each edge PoP homes onto two distinct agg PoPs (again
+//     preferentially), OC-12, weight 30.
+//
+// Everything — structure, link loads, OD pair sample, flow-size classes
+// — is a pure function of GenConfig (in particular Seed), via split
+// seeded rng streams keyed on stable entity indices: same config ⇒
+// bitwise-identical instance at any code path or machine.
+
+// NodeTier classifies a generated node.
+type NodeTier uint8
+
+const (
+	// TierCore is a backbone PoP.
+	TierCore NodeTier = iota
+	// TierAgg is an aggregation PoP.
+	TierAgg
+	// TierEdge is an edge PoP (OD pair endpoints live here).
+	TierEdge
+)
+
+// GenConfig sizes a generated instance explicitly. Most callers go
+// through ScaleGenConfig, which derives the tier mix from a target link
+// count.
+type GenConfig struct {
+	// Seed is the master seed; the instance is a pure function of the
+	// whole config.
+	Seed uint64
+	// CoreNodes (≥ 4, even), AggNodes (≥ 2), EdgeNodes (≥ 2) size the
+	// tiers.
+	CoreNodes int
+	AggNodes  int
+	EdgeNodes int
+	// CoreChords is the number of duplex chords added across the core
+	// ring; 0 selects CoreNodes/2.
+	CoreChords int
+	// ExtraLinks adds up to that many unidirectional core chords, to hit
+	// link-count targets that 2-link duplex circuits cannot (0 or 1 in
+	// practice).
+	ExtraLinks int
+	// Pairs is the number of OD pairs to sample from the
+	// EdgeNodes·(EdgeNodes−1) ordered edge-PoP pairs.
+	Pairs int
+	// ECMP routes each pair over its full equal-cost DAG with fractional
+	// link usage; false picks a single deterministic shortest path.
+	ECMP bool
+}
+
+// ScaleConfig is the high-level knob: a target link count. Tier sizes
+// follow fixed ratios (≈0.6% core, 6% agg, rest edge).
+type ScaleConfig struct {
+	Seed uint64
+	// Links is the target total unidirectional link count (≥ 300).
+	Links int
+	// Pairs is the OD pair count; 0 selects min(100·Links, max possible).
+	Pairs int
+	// ECMP selects DAG routing with fractions.
+	ECMP bool
+}
+
+// ScaleGenConfig derives explicit tier sizes from a target link count.
+// The generated instance has exactly cfg.Links links.
+func ScaleGenConfig(cfg ScaleConfig) (GenConfig, error) {
+	L := cfg.Links
+	if L < 300 {
+		return GenConfig{}, fmt.Errorf("topology: scale target %d links too small (want >= 300)", L)
+	}
+	c := L * 6 / 1000
+	if c < 8 {
+		c = 8
+	}
+	c &^= 1 // even, so the ring + c/2 chords contribute exactly 3c links
+	a := L * 3 / 50
+	if a < 4 {
+		a = 4
+	}
+	rem := L - 3*c - 4*a
+	e := rem / 4
+	if e < 8 {
+		return GenConfig{}, fmt.Errorf("topology: scale target %d links leaves only %d edge nodes", L, e)
+	}
+	r := rem - 4*e // 0..3 leftover links
+	g := GenConfig{
+		Seed:       cfg.Seed,
+		CoreNodes:  c,
+		AggNodes:   a,
+		EdgeNodes:  e,
+		CoreChords: c/2 + r/2,
+		ExtraLinks: r % 2,
+		Pairs:      cfg.Pairs,
+		ECMP:       cfg.ECMP,
+	}
+	maxPairs := e * (e - 1)
+	if g.Pairs == 0 {
+		g.Pairs = 100 * L
+		if g.Pairs > maxPairs {
+			g.Pairs = maxPairs
+		}
+	}
+	return g, nil
+}
+
+// ScaleInstance is a generated problem instance in solver-ready form:
+// the graph, per-link loads, and the routing matrix of the sampled OD
+// pairs as CSR rows over LinkID indices (pair k traverses
+// Links[Start[k]:Start[k+1]]).
+type ScaleInstance struct {
+	Graph *Graph
+	// Tier classifies each node, indexed by NodeID.
+	Tier []NodeTier
+	// EdgeNodes lists the edge-tier node IDs (OD endpoints).
+	EdgeNodes []NodeID
+	// Loads is the per-link packet rate U_i (packets/second), indexed by
+	// LinkID — which is also the dense candidate index: every link is a
+	// candidate monitor.
+	Loads []float64
+	// Start, Links, Fracs are the CSR routing matrix. Fracs is nil in
+	// single-path mode, else parallel to Links with the ECMP traffic
+	// fraction of each entry.
+	Start []int32
+	Links []int32
+	Fracs []float64
+	// InvSizes holds E[1/S] per pair (the SRE utility parameter), drawn
+	// from a small set of flow-size classes.
+	InvSizes []float64
+	// PairSrc/PairDst are the OD endpoints per pair.
+	PairSrc, PairDst []NodeID
+	// Config echoes the generating configuration.
+	Config GenConfig
+}
+
+// NumPairs returns the number of generated OD pairs.
+func (inst *ScaleInstance) NumPairs() int { return len(inst.Start) - 1 }
+
+// NNZ returns the number of (pair, link) incidences in the routing CSR.
+func (inst *ScaleInstance) NNZ() int { return len(inst.Links) }
+
+// MaxSampledRate returns Σ U_i — the feasibility ceiling for the budget
+// θ (every link's cap α_i is 1).
+func (inst *ScaleInstance) MaxSampledRate() float64 {
+	t := 0.0
+	for _, u := range inst.Loads {
+		t += u
+	}
+	return t
+}
+
+// sizeClasses are the flow-size classes pairs draw E[1/S] from — mice
+// (tiny flows, E[1/S] near 1/20) through elephants (E[1/S] = 1e-4).
+// Shared classes let a million-pair instance share a handful of utility
+// objects.
+var sizeClasses = [...]float64{0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0001}
+
+// SizeClasses returns the flow-size class values (E[1/S]) the generator
+// draws from, for callers that build one shared utility per class.
+func SizeClasses() []float64 {
+	out := make([]float64, len(sizeClasses))
+	copy(out, sizeClasses[:])
+	return out
+}
+
+// Salts for the split-seeded rng streams, so structure, loads, sizes and
+// the pair sample evolve independently.
+const (
+	genSaltStructure = iota
+	genSaltLoads
+	genSaltSizes
+	genSaltPairs
+)
+
+// Generate builds the instance for the configuration. It is a pure
+// function of cfg.
+func Generate(cfg GenConfig) (*ScaleInstance, error) {
+	if cfg.CoreNodes < 4 || cfg.CoreNodes%2 != 0 {
+		return nil, fmt.Errorf("topology: CoreNodes = %d, want an even count >= 4", cfg.CoreNodes)
+	}
+	if cfg.AggNodes < 2 || cfg.EdgeNodes < 2 {
+		return nil, fmt.Errorf("topology: AggNodes = %d, EdgeNodes = %d, want >= 2 each", cfg.AggNodes, cfg.EdgeNodes)
+	}
+	maxPairs := cfg.EdgeNodes * (cfg.EdgeNodes - 1)
+	if cfg.Pairs < 1 || cfg.Pairs > maxPairs {
+		return nil, fmt.Errorf("topology: Pairs = %d out of [1, %d] for %d edge nodes", cfg.Pairs, maxPairs, cfg.EdgeNodes)
+	}
+	if cfg.ExtraLinks < 0 || cfg.ExtraLinks > 3 {
+		return nil, fmt.Errorf("topology: ExtraLinks = %d, want [0, 3]", cfg.ExtraLinks)
+	}
+	chords := cfg.CoreChords
+	if chords == 0 {
+		chords = cfg.CoreNodes / 2
+	}
+
+	inst := &ScaleInstance{Config: cfg}
+	g := New()
+	inst.Graph = g
+
+	// --- Nodes: core, agg, edge, in that order (stable IDs). ---
+	core := make([]NodeID, cfg.CoreNodes)
+	agg := make([]NodeID, cfg.AggNodes)
+	edge := make([]NodeID, cfg.EdgeNodes)
+	for i := range core {
+		core[i] = g.AddNode("c" + strconv.Itoa(i))
+	}
+	for i := range agg {
+		agg[i] = g.AddNode("a" + strconv.Itoa(i))
+	}
+	for i := range edge {
+		edge[i] = g.AddNode("e" + strconv.Itoa(i))
+	}
+	inst.EdgeNodes = edge
+	inst.Tier = make([]NodeTier, g.NumNodes())
+	for _, id := range agg {
+		inst.Tier[id] = TierAgg
+	}
+	for _, id := range edge {
+		inst.Tier[id] = TierEdge
+	}
+
+	sr := rng.New(rng.SplitSeed(cfg.Seed, genSaltStructure))
+
+	// --- Core ring + chords. ---
+	for i := 0; i < cfg.CoreNodes; i++ {
+		g.AddDuplex(core[i], core[(i+1)%cfg.CoreNodes], OC192, 10)
+	}
+	// adj tracks existing core-core circuits so chords stay simple
+	// (parallel circuits would be legal but add no path diversity).
+	adj := make(map[[2]int]bool, cfg.CoreNodes+chords)
+	for i := 0; i < cfg.CoreNodes; i++ {
+		j := (i + 1) % cfg.CoreNodes
+		adj[corePairKey(i, j)] = true
+	}
+	for added := 0; added < chords; {
+		i := sr.Intn(cfg.CoreNodes)
+		j := sr.Intn(cfg.CoreNodes)
+		if i == j || adj[corePairKey(i, j)] {
+			continue
+		}
+		adj[corePairKey(i, j)] = true
+		g.AddDuplex(core[i], core[j], OC192, 10)
+		added++
+	}
+	for added := 0; added < cfg.ExtraLinks; {
+		i := sr.Intn(cfg.CoreNodes)
+		j := sr.Intn(cfg.CoreNodes)
+		if i == j {
+			continue
+		}
+		// A unidirectional chord may parallel an existing circuit; routing
+		// handles multigraphs, and it only ever lowers path costs.
+		g.AddLink(core[i], core[j], OC192, 10)
+		added++
+	}
+
+	// --- Aggregation uplinks: preferential attachment onto the core. ---
+	coreDeg := make([]int, cfg.CoreNodes)
+	for i := range agg {
+		first := prefPick(sr, coreDeg, -1)
+		second := prefPick(sr, coreDeg, first)
+		coreDeg[first]++
+		coreDeg[second]++
+		g.AddDuplex(agg[i], core[first], OC48, 20)
+		g.AddDuplex(agg[i], core[second], OC48, 20)
+	}
+
+	// --- Edge uplinks: preferential attachment onto the aggregation. ---
+	aggDeg := make([]int, cfg.AggNodes)
+	for i := range edge {
+		first := prefPick(sr, aggDeg, -1)
+		second := prefPick(sr, aggDeg, first)
+		aggDeg[first]++
+		aggDeg[second]++
+		g.AddDuplex(edge[i], agg[first], OC12, 30)
+		g.AddDuplex(edge[i], agg[second], OC12, 30)
+	}
+
+	// --- Per-link loads: utilization in [5%, 60%] of line rate at an
+	// average packet size of 500 bytes, split-seeded per LinkID. ---
+	inst.Loads = make([]float64, g.NumLinks())
+	loadSalt := rng.SplitSeed(cfg.Seed, genSaltLoads)
+	for i := range inst.Loads {
+		lr := rng.New(rng.SplitSeed(loadSalt, uint64(i)))
+		util := 0.05 + 0.55*lr.Float64()
+		pktPerSec := g.Link(LinkID(i)).CapacityBps / (8 * 500)
+		inst.Loads[i] = util * pktPerSec
+	}
+
+	// --- OD pair sample: Pairs distinct ordered edge-PoP pairs, drawn
+	// uniformly without replacement (Floyd), reported in ascending
+	// lexicographic (src, dst) order so sources group for routing. ---
+	pairIdx := samplePairIndices(rng.New(rng.SplitSeed(cfg.Seed, genSaltPairs)), maxPairs, cfg.Pairs)
+	ne := cfg.EdgeNodes
+	inst.PairSrc = make([]NodeID, cfg.Pairs)
+	inst.PairDst = make([]NodeID, cfg.Pairs)
+	inst.InvSizes = make([]float64, cfg.Pairs)
+	sizeSalt := rng.SplitSeed(cfg.Seed, genSaltSizes)
+	for k, idx := range pairIdx {
+		si := idx / (ne - 1)
+		ti := idx % (ne - 1)
+		if ti >= si {
+			ti++
+		}
+		inst.PairSrc[k] = edge[si]
+		inst.PairDst[k] = edge[ti]
+		// The class draw is keyed on the global pair index, so a pair
+		// keeps its flow-size class across different sample sizes.
+		cr := rng.New(rng.SplitSeed(sizeSalt, uint64(idx)))
+		inst.InvSizes[k] = sizeClasses[cr.Intn(len(sizeClasses))]
+	}
+
+	// --- Routing matrix, emitted directly as CSR. ---
+	if err := inst.routeCSR(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// GenerateScale is Generate over a ScaleConfig.
+func GenerateScale(cfg ScaleConfig) (*ScaleInstance, error) {
+	g, err := ScaleGenConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(g)
+}
+
+func corePairKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// prefPick draws an index proportionally to degree+1 (preferential
+// attachment; the +1 keeps zero-degree nodes reachable), excluding one
+// index.
+func prefPick(r *rng.Source, deg []int, exclude int) int {
+	total := 0
+	for i, d := range deg {
+		if i == exclude {
+			continue
+		}
+		total += d + 1
+	}
+	t := r.Intn(total)
+	for i, d := range deg {
+		if i == exclude {
+			continue
+		}
+		t -= d + 1
+		if t < 0 {
+			return i
+		}
+	}
+	// Unreachable: the loop above always terminates with t < 0.
+	return len(deg) - 1
+}
+
+// samplePairIndices draws k distinct values from [0, n) uniformly
+// without replacement (Floyd's algorithm) and returns them sorted
+// ascending.
+func samplePairIndices(r *rng.Source, n, k int) []int {
+	if k == n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make([]bool, n)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if seen[t] {
+			t = j
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}

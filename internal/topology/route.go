@@ -1,0 +1,285 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR routing-matrix emission for generated instances. The generator
+// cannot afford internal/routing's all-pairs table (next/dist are O(V²),
+// and Matrix materializes one []LinkID per pair): at 10⁶ pairs the rows
+// alone would dwarf the solver. Instead the sampled pairs arrive sorted
+// by source, one Dijkstra runs per distinct source PoP, and each pair's
+// row is appended straight into the shared CSR arrays.
+//
+// The Dijkstra replicates internal/routing's deterministic tie-break
+// exactly (prefer the predecessor node with the smaller NodeID, then the
+// smaller LinkID), so single-path rows have the same cost as
+// routing.PathBetween and ECMP rows match routing.Fractions' equal-cost
+// DAG; the tests in gen_test.go cross-check both on small instances.
+
+const genUnreachable = math.MaxInt32
+
+// genRouter carries per-source Dijkstra state and per-pair DAG scratch,
+// reused across all sources of one routeCSR call.
+type genRouter struct {
+	g    *Graph
+	dist []int
+	prev []LinkID
+	done []bool
+	heap []genHeapItem
+
+	// Per-pair equal-cost-DAG scratch; stamp arrays avoid O(V+E) clears.
+	epoch     int
+	nodeStamp []int
+	mass      []float64
+	dagNodes  []NodeID
+	linkStamp []int
+	linkFrac  []float64
+	touched   []LinkID
+}
+
+type genHeapItem struct {
+	node NodeID
+	dist int
+}
+
+func newGenRouter(g *Graph) *genRouter {
+	nv, ne := g.NumNodes(), g.NumLinks()
+	return &genRouter{
+		g:         g,
+		dist:      make([]int, nv),
+		prev:      make([]LinkID, nv),
+		done:      make([]bool, nv),
+		nodeStamp: make([]int, nv),
+		mass:      make([]float64, nv),
+		linkStamp: make([]int, ne),
+		linkFrac:  make([]float64, ne),
+	}
+}
+
+// dijkstra computes shortest paths from src with internal/routing's
+// tie-break, filling r.dist and r.prev.
+func (r *genRouter) dijkstra(src NodeID) {
+	g := r.g
+	for i := range r.dist {
+		r.dist[i] = genUnreachable
+		r.prev[i] = -1
+		r.done[i] = false
+	}
+	r.dist[src] = 0
+	r.heap = append(r.heap[:0], genHeapItem{node: src})
+	for len(r.heap) > 0 {
+		it := r.heapPop()
+		u := it.node
+		if r.done[u] || it.dist > r.dist[u] {
+			continue
+		}
+		r.done[u] = true
+		for _, lid := range g.Out(u) {
+			l := g.Link(lid)
+			if l.Down {
+				continue
+			}
+			nd := r.dist[u] + l.Weight
+			v := l.Dst
+			if nd < r.dist[v] {
+				r.dist[v] = nd
+				r.prev[v] = lid
+				r.heapPush(genHeapItem{node: v, dist: nd})
+			} else if nd == r.dist[v] && r.prev[v] >= 0 {
+				// Same tie-break as routing.sssp: prefer the smaller
+				// predecessor node, then the smaller link.
+				cur := g.Link(r.prev[v])
+				if u < cur.Src || (u == cur.Src && lid < r.prev[v]) {
+					r.prev[v] = lid
+				}
+			}
+		}
+	}
+}
+
+func (r *genRouter) heapPush(it genHeapItem) {
+	r.heap = append(r.heap, it)
+	i := len(r.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.heap[parent].dist <= r.heap[i].dist {
+			break
+		}
+		r.heap[parent], r.heap[i] = r.heap[i], r.heap[parent]
+		i = parent
+	}
+}
+
+func (r *genRouter) heapPop() genHeapItem {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= last {
+			break
+		}
+		if child+1 < last && r.heap[child+1].dist < r.heap[child].dist {
+			child++
+		}
+		if r.heap[i].dist <= r.heap[child].dist {
+			break
+		}
+		r.heap[i], r.heap[child] = r.heap[child], r.heap[i]
+		i = child
+	}
+	return top
+}
+
+// appendPath walks the predecessor chain dst→src and appends the path's
+// links, in src→dst order, to links. This reproduces routing.sssp's
+// source-rooted shortest-path tree for the pair.
+func (r *genRouter) appendPath(src, dst NodeID, links []int32) ([]int32, error) {
+	if r.dist[dst] == genUnreachable {
+		return nil, fmt.Errorf("topology: generated node %d unreachable from %d", dst, src)
+	}
+	first := len(links)
+	for cur := dst; cur != src; {
+		lid := r.prev[cur]
+		links = append(links, int32(lid))
+		cur = r.g.Link(lid).Src
+	}
+	// The walk collected the path back-to-front; reverse in place.
+	for i, j := first, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return links, nil
+}
+
+// appendECMP discovers the pair's equal-cost DAG (every link on some
+// shortest src→dst path) and appends its links with their traffic
+// fractions: at each DAG node the incoming mass splits equally over the
+// tight outgoing links, exactly routing/ecmp's flow model. Links are
+// appended in ascending LinkID order.
+func (r *genRouter) appendECMP(src, dst NodeID, links []int32, fracs []float64) ([]int32, []float64, error) {
+	if r.dist[dst] == genUnreachable {
+		return nil, nil, fmt.Errorf("topology: generated node %d unreachable from %d", dst, src)
+	}
+	g := r.g
+	r.epoch++
+	ep := r.epoch
+
+	// Backward reachability from dst over tight edges: a node u with
+	// finite dist and a tight chain to dst lies on a shortest src→dst
+	// path (dist[u] is minimal and the chain costs dist[dst] − dist[u]).
+	r.dagNodes = append(r.dagNodes[:0], dst)
+	r.nodeStamp[dst] = ep
+	r.mass[dst] = 0
+	for head := 0; head < len(r.dagNodes); head++ {
+		v := r.dagNodes[head]
+		for _, lid := range g.In(v) {
+			l := g.Link(lid)
+			if l.Down {
+				continue
+			}
+			u := l.Src
+			if r.dist[u] == genUnreachable || r.dist[u]+l.Weight != r.dist[v] {
+				continue
+			}
+			if r.nodeStamp[u] != ep {
+				r.nodeStamp[u] = ep
+				r.mass[u] = 0
+				r.dagNodes = append(r.dagNodes, u)
+			}
+		}
+	}
+	if r.nodeStamp[src] != ep {
+		return nil, nil, fmt.Errorf("topology: no tight path from %d to %d", src, dst)
+	}
+
+	// Tight edges only go strictly downhill in dist (positive weights),
+	// so ascending (dist, NodeID) is a topological order of the DAG.
+	sort.Slice(r.dagNodes, func(i, j int) bool {
+		a, b := r.dagNodes[i], r.dagNodes[j]
+		if r.dist[a] != r.dist[b] {
+			return r.dist[a] < r.dist[b]
+		}
+		return a < b
+	})
+
+	r.mass[src] = 1
+	r.touched = r.touched[:0]
+	for _, u := range r.dagNodes {
+		if u == dst || r.mass[u] == 0 {
+			continue
+		}
+		deg := 0
+		for _, lid := range g.Out(u) {
+			l := g.Link(lid)
+			if !l.Down && r.nodeStamp[l.Dst] == ep && r.dist[u]+l.Weight == r.dist[l.Dst] {
+				deg++
+			}
+		}
+		share := r.mass[u] / float64(deg)
+		for _, lid := range g.Out(u) {
+			l := g.Link(lid)
+			if l.Down || r.nodeStamp[l.Dst] != ep || r.dist[u]+l.Weight != r.dist[l.Dst] {
+				continue
+			}
+			if r.linkStamp[lid] != ep {
+				r.linkStamp[lid] = ep
+				r.linkFrac[lid] = 0
+				r.touched = append(r.touched, lid)
+			}
+			r.linkFrac[lid] += share
+			r.mass[l.Dst] += share
+		}
+	}
+
+	sort.Slice(r.touched, func(i, j int) bool { return r.touched[i] < r.touched[j] })
+	for _, lid := range r.touched {
+		f := r.linkFrac[lid]
+		// Summed splits can exceed 1 by an ulp; the solver requires ≤ 1.
+		if f > 1 {
+			f = 1
+		}
+		links = append(links, int32(lid))
+		fracs = append(fracs, f)
+	}
+	return links, fracs, nil
+}
+
+// routeCSR fills inst.Start/Links/Fracs for the sampled pairs. PairSrc
+// is ascending (samplePairIndices sorts the global indices), so pairs
+// group by source and each distinct source costs one Dijkstra.
+func (inst *ScaleInstance) routeCSR() error {
+	nPairs := len(inst.PairSrc)
+	r := newGenRouter(inst.Graph)
+	inst.Start = make([]int32, nPairs+1)
+	// Hierarchical shortest paths run edge→agg→core→agg→edge: ~6 hops
+	// typical, a little more for ECMP DAGs.
+	est := 8 * nPairs
+	inst.Links = make([]int32, 0, est)
+	if inst.Config.ECMP {
+		inst.Fracs = make([]float64, 0, est)
+	}
+	curSrc := NodeID(-1)
+	for k := 0; k < nPairs; k++ {
+		src, dst := inst.PairSrc[k], inst.PairDst[k]
+		if src != curSrc {
+			r.dijkstra(src)
+			curSrc = src
+		}
+		var err error
+		if inst.Config.ECMP {
+			inst.Links, inst.Fracs, err = r.appendECMP(src, dst, inst.Links, inst.Fracs)
+		} else {
+			inst.Links, err = r.appendPath(src, dst, inst.Links)
+		}
+		if err != nil {
+			return err
+		}
+		inst.Start[k+1] = int32(len(inst.Links))
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ package netsamp
 import (
 	"netsamp/internal/control"
 	"netsamp/internal/core"
+	"netsamp/internal/engine"
 	"netsamp/internal/geant"
 	"netsamp/internal/loadtrack"
 	"netsamp/internal/plan"
@@ -313,3 +314,53 @@ var NewLoadTracker = loadtrack.New
 
 // SolveRobust solves against one edge of a load confidence envelope.
 var SolveRobust = core.SolveRobust
+
+// Internet-scale surface: sparse CSR problems, sharded kernels, the
+// Frank-Wolfe approximation with its duality-gap certificate, and the
+// deterministic ISP-like topology generator (internal/topology,
+// core CSR/shard/approx, plan.BuildScale).
+type (
+	// CSRProblem is a sampling problem in compressed sparse row form —
+	// the scale-tier front door that never materializes a dense
+	// pair×link intermediate.
+	CSRProblem = core.CSRProblem
+	// ApproxOptions tunes SolveApprox, the Frank-Wolfe approximation
+	// with a certified duality gap (Solver.SolveApprox /
+	// Solver.SolveApproxInto; see also Solver.Shard).
+	ApproxOptions = core.ApproxOptions
+	// ControllerApproxPolicy is the controller's deadline-aware routing
+	// between the exact and approximate solvers.
+	ControllerApproxPolicy = control.ApproxPolicy
+	// WorkerPool is a persistent worker pool for sharded solver kernels
+	// (attach with Solver.Shard; results stay bit-identical at any
+	// worker count).
+	WorkerPool = engine.Pool
+	// WorkerPoolPanicError reports a panic captured inside a pool loop.
+	WorkerPoolPanicError = engine.PoolPanicError
+	// TopologyGenConfig parameterizes the deterministic hierarchical
+	// ISP-like topology generator tier by tier.
+	TopologyGenConfig = topology.GenConfig
+	// TopologyScaleConfig is the size-first generator configuration
+	// (target link count; tiers derived).
+	TopologyScaleConfig = topology.ScaleConfig
+	// ScaleInstance is one generated instance: graph, loads and the
+	// routing incidence already in CSR form.
+	ScaleInstance = topology.ScaleInstance
+)
+
+// NewSolverCSR compiles a CSRProblem into a reusable Solver.
+var NewSolverCSR = core.NewSolverCSR
+
+// NewWorkerPool builds a persistent worker pool (workers <= 0 selects
+// GOMAXPROCS).
+var NewWorkerPool = engine.NewPool
+
+// GenerateTopology builds a deterministic hierarchical instance from an
+// explicit tier configuration.
+var GenerateTopology = topology.Generate
+
+// GenerateScaleTopology builds an instance sized to a target link count.
+var GenerateScaleTopology = topology.GenerateScale
+
+// BuildScaleProblem maps a generated ScaleInstance onto a CSRProblem.
+var BuildScaleProblem = plan.BuildScale
