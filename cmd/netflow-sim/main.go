@@ -19,6 +19,14 @@
 //
 // -scale trades fidelity for speed by scaling all traffic and θ
 // together; accuracies are then those of the scaled system.
+//
+// A second mode, -load, turns the binary into an overload soak driver
+// for the sharded ingest tier: synthetic exporters blast datagrams at a
+// chosen multiple of the collector's record budget with injected wire
+// faults, and the run fails unless the drop accounting balances exactly
+// (and, with -require-drops, unless overload actually shed records):
+//
+//	netflow-sim -load -load-x 4 -load-duration 30s -require-drops
 package main
 
 import (
@@ -45,8 +53,41 @@ func main() {
 	seed := flag.Uint64("seed", 1, "scenario and sampling seed")
 	scale := flag.Float64("scale", 1, "traffic/θ scale factor (<1 runs faster but with proportionally less accurate estimates)")
 	archive := flag.String("archive", "", "write collected flow records to this archive file (netflow.RecordWriter format)")
+	load := flag.Bool("load", false, "run the ingest overload soak instead of the accuracy replay")
+	loadShards := flag.Int("load-shards", 4, "load mode: collector shards")
+	loadRing := flag.Int("load-ring", 1024, "load mode: datagram ring capacity per shard")
+	loadPolicy := flag.String("load-policy", "drop-newest", "load mode: overload policy (drop-newest or block)")
+	loadCapacity := flag.Int("load-capacity", 250000, "load mode: per-shard record budget per second")
+	loadX := flag.Float64("load-x", 4, "load mode: offered load as a multiple of aggregate capacity")
+	loadDuration := flag.Duration("load-duration", 10*time.Second, "load mode: soak duration")
+	loadExporters := flag.Int("load-exporters", 8, "load mode: concurrent synthetic exporters")
+	loadLoss := flag.Float64("load-loss", 0.01, "load mode: per-datagram wire-loss probability (sequence skip)")
+	loadDup := flag.Float64("load-dup", 0.005, "load mode: per-datagram duplicate probability")
+	loadReorder := flag.Float64("load-reorder", 0.01, "load mode: per-datagram reorder probability")
+	requireDrops := flag.Bool("require-drops", false, "load mode: fail unless the Overload bucket is nonzero")
+	loadJSON := flag.String("load-json", "", "load mode: write the machine-readable summary to this file")
 	flag.Parse()
-	if err := run(*theta, *seed, *scale, *archive); err != nil {
+	var err error
+	if *load {
+		err = runLoad(loadConfig{
+			Shards:       *loadShards,
+			Ring:         *loadRing,
+			Policy:       *loadPolicy,
+			Capacity:     *loadCapacity,
+			Multiple:     *loadX,
+			Duration:     *loadDuration,
+			Exporters:    *loadExporters,
+			Seed:         *seed,
+			LossP:        *loadLoss,
+			DupP:         *loadDup,
+			ReorderP:     *loadReorder,
+			RequireDrops: *requireDrops,
+			JSONPath:     *loadJSON,
+		})
+	} else {
+		err = run(*theta, *seed, *scale, *archive)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netflow-sim:", err)
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@
 //	netsamp degrade  [-intervals N] [-theta N] [-overrun P] [-csv] [-workers N]
 //	netsamp regret   [-intervals N] [-theta N] [-drift V] [-step P] [-explore F] [-widen F] [-csv] [-workers N]
 //	netsamp coordinate [-trials N] [-seed N] [-csv] [-workers N]
+//	netsamp saturation [-shards N] [-ticks N] [-capacity N] [-seed N] [-csv]
 //	netsamp serve    -dir DIR [-theta N] [-seed N] [-intervals N] [-checkpoint N] [-workers N]
 //	netsamp optimize -f network.netsamp [-model M] [-maxmin] [-json]
 //	netsamp bench    [-pattern RE] [-benchtime T] [-count N] [-o FILE]
@@ -134,6 +135,8 @@ func dispatch(cmd string, args []string) error {
 		err = cmdRegret(args)
 	case "coordinate":
 		err = cmdCoordinate(args)
+	case "saturation":
+		err = cmdSaturation(args)
 	case "serve":
 		err = cmdServe(args)
 	case "optimize":
@@ -176,6 +179,7 @@ commands:
   degrade      accuracy under monitor crashes and export loss, naive vs graceful
   regret       utility regret under load drift: plug-in vs uncertainty-aware control
   coordinate   coordinated (cSamp-style) vs independent sampling across θ
+  saturation   ingest-tier graceful degradation at 1x/2x/4x offered load (deterministic)
   serve        supervised control-loop daemon with crash-safe checkpointing
   optimize     solve a user-provided scenario file (-f network.netsamp)
   report       run every experiment and emit a markdown report
@@ -527,6 +531,42 @@ func cmdRegret(args []string) error {
 		return eval.WriteCSV(os.Stdout, header, rows)
 	}
 	return eval.RenderRegret(os.Stdout, res)
+}
+
+func cmdSaturation(args []string) error {
+	fs := flag.NewFlagSet("saturation", flag.ExitOnError)
+	shards := fs.Int("shards", 4, "collector shards")
+	ring := fs.Int("ring", 256, "datagram ring capacity per shard")
+	capacity := fs.Int("capacity", 2048, "record budget per shard per tick")
+	ticks := fs.Int("ticks", 200, "injection ticks per grid point")
+	exporters := fs.Int("exporters", 8, "synthetic exporters")
+	loss := fs.Float64("loss", 0.01, "per-datagram wire-loss probability (0 disables)")
+	dup := fs.Float64("dup", 0.005, "per-datagram duplicate probability (0 disables)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	seed := scenarioFlags(fs)
+	fs.Parse(args)
+	cfg := eval.SaturationConfig{
+		Shards: *shards, RingSize: *ring, CapacityPerTick: *capacity,
+		Ticks: *ticks, Exporters: *exporters, Seed: *seed + 8000,
+		LossP: *loss, DupP: *dup,
+	}
+	// The flag defaults mirror the study defaults, but an explicit zero
+	// means "disable", not "use the default".
+	if *loss == 0 {
+		cfg.LossP = -1
+	}
+	if *dup == 0 {
+		cfg.DupP = -1
+	}
+	res, err := eval.SaturationStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		header, rows := eval.SaturationCSV(res)
+		return eval.WriteCSV(os.Stdout, header, rows)
+	}
+	return eval.RenderSaturation(os.Stdout, res)
 }
 
 func cmdOptimize(args []string) error {

@@ -13,6 +13,7 @@ import (
 	"netsamp/internal/core"
 	"netsamp/internal/daemon"
 	"netsamp/internal/faults"
+	"netsamp/internal/ingest"
 )
 
 // cmdServe runs the monitoring control loop as a supervised, crash-safe
@@ -44,6 +45,11 @@ func cmdServe(args []string) error {
 	maxFailures := fs.Int("max-failures", 5, "consecutive crashes (without a checkpoint in between) before giving up")
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial restart backoff (doubles per failure)")
 	maxBackoff := fs.Duration("max-backoff", 30*time.Second, "restart backoff ceiling")
+	ingestAddr := fs.String("ingest", "", "UDP listen address for live NetFlow ingest (empty = synthetic worlds only); enabling it disables bit-identical replay cross-checks")
+	ingestShards := fs.Int("ingest-shards", 4, "collector shards, each with its own ring and worker")
+	ingestRing := fs.Int("ingest-ring", 1024, "datagram ring capacity per shard (rounded up to a power of two)")
+	ingestPolicy := fs.String("ingest-policy", "drop-newest", "overload policy: drop-newest or block")
+	ingestCapacity := fs.Int("ingest-capacity", 0, "per-shard record budget per second (0 = unthrottled)")
 	fs.Parse(args)
 	if err := checkWorkers(fs, *workers); err != nil {
 		return err
@@ -87,6 +93,37 @@ func cmdServe(args []string) error {
 			DriftStep:     *driftStep,
 		},
 		Logf: logf,
+	}
+	// A live ingest tier feeds its record-loss fraction into every step:
+	// overload and wire loss widen the controller's confidence instead
+	// of being trusted at face value. The probe's readings are not
+	// replayable, so the daemon drops its journal cross-check.
+	if *ingestAddr != "" {
+		policy, err := ingest.ParsePolicy(*ingestPolicy)
+		if err != nil {
+			return err
+		}
+		col, err := ingest.New(ingest.Config{
+			Shards:           *ingestShards,
+			RingSize:         *ingestRing,
+			Policy:           policy,
+			CapacityPerShard: *ingestCapacity,
+			Logf:             logf,
+		})
+		if err != nil {
+			return err
+		}
+		if err := col.Listen(*ingestAddr); err != nil {
+			return err
+		}
+		defer func() {
+			col.Close()
+			v := col.Snapshot()
+			logf("ingest: %d datagrams, %d records (%d delivered, %d dropped, %d lost upstream), loss fraction %.4f",
+				v.Datagrams, v.Records, v.Delivered, v.Dropped, v.LostRecords, v.LossFraction)
+		}()
+		logf("ingest: listening on %s (%d shards, ring %d, policy %s)", col.Addr(), col.Shards(), *ingestRing, policy)
+		cfg.LossProbe = col.LossFraction
 	}
 	sup := &daemon.Supervisor{
 		MaxFailures: *maxFailures,

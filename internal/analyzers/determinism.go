@@ -19,6 +19,12 @@ var ReplayCriticalPackages = []string{
 	"netsamp/internal/plan",
 	"netsamp/internal/loadtrack",
 	"netsamp/internal/faults",
+	// netflow is inside the fence because its outputs feed replayed
+	// decisions: flow-table sweeps, exporter listings, snapshots and
+	// estimator bins must not inherit map iteration order. Its live-IO
+	// edges (socket loops) carry explicit nondeterministic-ok
+	// annotations.
+	"netsamp/internal/netflow",
 }
 
 // IsReplayCritical reports whether pkgPath is inside the replay fence.

@@ -25,6 +25,11 @@ import (
 //   - calls into fmt (every fmt call allocates for its varargs);
 //   - string([]byte) / []byte(string) conversions;
 //   - explicit conversions to interface types (boxing);
+//   - implicit boxing at call sites: a concrete non-pointer-shaped
+//     value passed where the callee declares an interface parameter
+//     allocates to materialize the interface's data word (pointers,
+//     maps, channels and funcs are the data word themselves and pass
+//     for free; interface-typed arguments pass through unboxed);
 //   - function literals (potential closure allocations);
 //   - go statements (goroutine stacks).
 //
@@ -112,19 +117,27 @@ func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
 					report(n.Pos(), "append into a fresh backing array")
 				}
 			default:
+				flaggedPkg := false
 				if obj := calleeObject(pass.Info, n); obj != nil && obj.Pkg() != nil {
 					switch obj.Pkg().Path() {
 					case "fmt":
+						flaggedPkg = true
 						if !inCold(n.Pos()) {
 							report(n.Pos(), "fmt."+obj.Name()+" (allocates for its varargs)")
 						}
 					case "errors":
+						flaggedPkg = true
 						if !inCold(n.Pos()) {
 							report(n.Pos(), "errors."+obj.Name())
 						}
 					}
 				}
 				checkConversion(pass, n, report)
+				// Boxing into an already-flagged fmt/errors call would
+				// just duplicate the finding.
+				if !flaggedPkg && !inCold(n.Pos()) {
+					checkImplicitBoxing(pass, n, report)
+				}
 			}
 		case *ast.CompositeLit:
 			t := pass.Info.Types[n].Type
@@ -210,9 +223,65 @@ func checkConversion(pass *Pass, call *ast.CallExpr, report func(token.Pos, stri
 	}
 }
 
-// coldErrorBlocks collects if-bodies that end in a return statement and
-// construct an error on the way out — the failure exits a zero-alloc
-// contract does not cover.
+// checkImplicitBoxing flags call arguments that box implicitly: a
+// concrete value passed where the callee's signature declares an
+// interface parameter is converted at the call site, and unless the
+// value is pointer-shaped (pointer, map, channel, func — the interface
+// data word holds it directly) the conversion allocates. The check is
+// conservative: the runtime's small-integer and zero-size caches make
+// some boxes free, but a hot path should not rely on them.
+func checkImplicitBoxing(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	if tv, ok := pass.Info.Types[call.Fun]; !ok || tv.IsType() {
+		return // conversion, handled by checkConversion
+	}
+	sigT := pass.Info.Types[call.Fun].Type
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				// f(xs...) forwards the slice; nothing is boxed per element.
+				return
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		switch u := at.Underlying().(type) {
+		case *types.Basic:
+			if u.Kind() == types.UntypedNil {
+				continue // nil interface, no box
+			}
+		case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+			continue // pointer-shaped: the data word is the value itself
+		}
+		report(arg.Pos(), "concrete value passed to interface parameter (boxes the argument)")
+	}
+}
+
+// coldErrorBlocks collects if-bodies that end in a return statement or
+// a panic — the failure exits a zero-alloc contract does not cover.
 func coldErrorBlocks(pass *Pass, body *ast.BlockStmt) []*ast.BlockStmt {
 	var cold []*ast.BlockStmt
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -220,8 +289,13 @@ func coldErrorBlocks(pass *Pass, body *ast.BlockStmt) []*ast.BlockStmt {
 		if !ok || len(ifs.Body.List) == 0 {
 			return true
 		}
-		if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); ok {
+		switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+		case *ast.ReturnStmt:
 			cold = append(cold, ifs.Body)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "panic") {
+				cold = append(cold, ifs.Body)
+			}
 		}
 		return true
 	})

@@ -92,3 +92,64 @@ func sloppyExcuse(xs []int) []int {
 	ys := append(xs, 1) // want `requires a reason`
 	return ys
 }
+
+func sink(v any)      {}
+func sinks(vs ...any) {}
+func take(e error)    {}
+
+//netsamp:noalloc
+func implicitBox(n int) {
+	sink(n) // want `boxes the argument`
+}
+
+//netsamp:noalloc
+func structBox(p pair) {
+	sink(p) // want `boxes the argument`
+}
+
+//netsamp:noalloc
+func ptrNoBox(p *pair) {
+	sink(p) // ok: the interface data word holds the pointer, no allocation
+}
+
+//netsamp:noalloc
+func ifacePassThrough(v any) {
+	sink(v) // ok: already an interface, passes through unboxed
+}
+
+//netsamp:noalloc
+func nilNoBox() {
+	take(nil) // ok: nil interface
+}
+
+//netsamp:noalloc
+func variadicBox(n int) {
+	sinks(n, n+1) // want `boxes the argument` `boxes the argument`
+}
+
+//netsamp:noalloc
+func spreadNoBox(vs []any) {
+	sinks(vs...) // ok: the slice forwards as-is, no per-element boxing
+}
+
+//netsamp:noalloc
+func coldBox(n int) int {
+	if n < 0 {
+		sink(n) // ok: failure exit ends in return, off the steady state
+		return 0
+	}
+	return n
+}
+
+//netsamp:noalloc
+func excusedBox(n int) {
+	sink(n) //netsamp:alloc-ok logged once at startup, not per interval
+}
+
+//netsamp:noalloc
+func coldPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // ok: a panic exit is cold, like a return
+	}
+	return n
+}

@@ -313,6 +313,17 @@ type StepInput struct {
 	// or starved observation widens the link's interval instead of being
 	// trusted outright (see netflow.LinkLoadObservation).
 	LoadRelErr []float64
+	// TransportLoss is the ingest tier's record-loss fraction ℓ in
+	// [0, 1) for this interval — wire losses plus collector drops over
+	// everything the exporters emitted (ingest.Collector.LossFraction).
+	// In robust mode every observed load's relative error is inflated
+	// in quadrature, relErr' = sqrt(relErr² + ℓ²/(1−ℓ)), so an interval
+	// observed through a lossy ingest tier widens the tracker's
+	// confidence intervals instead of being trusted at face value —
+	// overload degrades confidence, it never silently biases the plan.
+	// Plain (non-robust) mode carries no per-link uncertainty and
+	// ignores the field.
+	TransportLoss float64
 	// FailSolve injects a solver failure (fault injection for tests and
 	// degradation studies).
 	FailSolve bool
@@ -354,6 +365,9 @@ func (c *Controller) StepResilient(ctx context.Context, in StepInput) (*Decision
 	}
 	if len(in.Candidates) == 0 {
 		return nil, fmt.Errorf("control: empty candidate set")
+	}
+	if math.IsNaN(in.TransportLoss) || in.TransportLoss < 0 || in.TransportLoss >= 1 {
+		return nil, &core.InputError{Field: "transport loss", Index: -1, Value: in.TransportLoss, Reason: "want a record-loss fraction in [0, 1)"}
 	}
 
 	// Health bookkeeping: a down monitor is excluded and owes
@@ -639,7 +653,27 @@ func (c *Controller) trackLoads(in StepInput, excluded []topology.LinkID) ([]flo
 			observed[lid] = false
 		}
 	}
-	if err := c.tracker.Observe(in.Loads, in.LoadRelErr, observed); err != nil {
+	relErr := in.LoadRelErr
+	if in.TransportLoss > 0 {
+		// Transport loss is uncertainty every observation of the
+		// interval shares: fold ℓ²/(1−ℓ) — the variance inflation the
+		// estimator applies under binomial thinning at rate ρ(1−ℓ) —
+		// into each link's stated error in quadrature. nil LoadRelErr
+		// means "exact", which under loss is exact no longer.
+		if in.LoadRelErr != nil && len(in.LoadRelErr) != len(in.Loads) {
+			return nil, fmt.Errorf("control: %d load errors for %d loads", len(in.LoadRelErr), len(in.Loads))
+		}
+		extra := in.TransportLoss * in.TransportLoss / (1 - in.TransportLoss)
+		relErr = make([]float64, len(in.Loads))
+		for i := range relErr {
+			var base float64
+			if in.LoadRelErr != nil {
+				base = in.LoadRelErr[i]
+			}
+			relErr[i] = math.Sqrt(base*base + extra)
+		}
+	}
+	if err := c.tracker.Observe(in.Loads, relErr, observed); err != nil {
 		return nil, err
 	}
 	if len(c.trackMeans) != c.tracker.Len() {

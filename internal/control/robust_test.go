@@ -218,6 +218,104 @@ func TestRobustNetflowErrorWiring(t *testing.T) {
 	}
 }
 
+// TestTransportLossWidensTracker: the ingest tier's record-loss
+// fraction (StepInput.TransportLoss) inflates every observed link's
+// error in quadrature — a lossy interval widens the tracker's
+// confidence intervals without moving its point estimates away from
+// what an equally-loaded clean interval would have produced. Out-of-
+// range fractions are rejected as typed input errors before any
+// controller mutation.
+func TestTransportLossWidensTracker(t *testing.T) {
+	s, inv := setup(t)
+	mk := func() *Controller {
+		c, err := New(robustOpts(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := StepInput{Matrix: s.Matrix, Loads: s.Loads, Candidates: s.MonitorLinks, InvSizes: inv}
+
+	clean, lossy := mk(), mk()
+	if _, err := clean.StepResilient(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	in := base
+	in.TransportLoss = 0.5
+	if _, err := lossy.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	cs, ls := clean.TrackerState(), lossy.TrackerState()
+	for _, lid := range s.MonitorLinks {
+		if !(ls.Rel[lid] > cs.Rel[lid]) {
+			t.Fatalf("link %d: lossy rel %v not wider than clean rel %v", lid, ls.Rel[lid], cs.Rel[lid])
+		}
+		if ls.Mean[lid] != cs.Mean[lid] {
+			t.Fatalf("link %d: transport loss moved the mean %v -> %v", lid, cs.Mean[lid], ls.Mean[lid])
+		}
+	}
+
+	// Loss composes with per-link errors in quadrature: a link already
+	// carrying netflow error e observes sqrt(e² + ℓ²/(1−ℓ)), strictly
+	// wider than either source of uncertainty alone.
+	both, errOnly := mk(), mk()
+	relErr := make([]float64, len(s.Loads))
+	relErr[s.MonitorLinks[0]] = 0.3
+	inErr := base
+	inErr.LoadRelErr = relErr
+	if _, err := errOnly.StepResilient(context.Background(), inErr); err != nil {
+		t.Fatal(err)
+	}
+	inBoth := inErr
+	inBoth.TransportLoss = 0.5
+	if _, err := both.StepResilient(context.Background(), inBoth); err != nil {
+		t.Fatal(err)
+	}
+	lid := s.MonitorLinks[0]
+	bs, es := both.TrackerState(), errOnly.TrackerState()
+	if !(bs.Rel[lid] > es.Rel[lid]) || !(bs.Rel[lid] > ls.Rel[lid]) {
+		t.Fatalf("combined rel %v not wider than error-only %v and loss-only %v", bs.Rel[lid], es.Rel[lid], ls.Rel[lid])
+	}
+	// A no-information link (+Inf error) stays unobserved under loss:
+	// inflation must not turn "no data" into a confident observation.
+	starved := s.MonitorLinks[1]
+	relErr[starved] = math.Inf(1)
+	if _, err := both.StepResilient(context.Background(), inBoth); err != nil {
+		t.Fatal(err)
+	}
+	if got := both.TrackerState().Age[starved]; got != 1 {
+		t.Fatalf("starved link age %d under loss, want 1 (+Inf stays unobserved)", got)
+	}
+
+	// Validation: rejected fractions leave the controller untouched.
+	c := mk()
+	for _, bad := range []float64{math.NaN(), -0.1, 1, 1.5} {
+		in := base
+		in.TransportLoss = bad
+		_, err := c.StepResilient(context.Background(), in)
+		var ie *core.InputError
+		if err == nil || !errors.As(err, &ie) || ie.Field != "transport loss" {
+			t.Fatalf("TransportLoss=%v: err %v, want transport-loss InputError", bad, err)
+		}
+	}
+	if c.Steps() != 0 {
+		t.Fatal("rejected input mutated the controller")
+	}
+
+	// A plain controller carries no per-link uncertainty; a stated loss
+	// fraction is validated, then ignored.
+	plain, err := New(Options{Budget: robustOpts(0).Budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.StepResilient(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if plain.TrackerState() != nil {
+		t.Fatal("plain controller grew a tracker from transport loss")
+	}
+}
+
 // sameRobustDecision extends sameDecision with the exploration set.
 func sameRobustDecision(a, b *Decision) bool {
 	if !sameDecision(a, b) || len(a.Explored) != len(b.Explored) {

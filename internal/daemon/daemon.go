@@ -14,6 +14,7 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"math"
 	"path/filepath"
 	"time"
 
@@ -59,6 +60,18 @@ type Config struct {
 	// Faults is the injected fault plan. Its Seed field is overridden
 	// with Config.Seed so one seed governs the whole run.
 	Faults faults.Config
+
+	// LossProbe, when non-nil, supplies each interval's transport-loss
+	// fraction — the share of exporter records the ingest tier lost or
+	// shed (ingest.Collector.LossFraction is the intended source) —
+	// which feeds control.StepInput.TransportLoss so overload widens
+	// the tracker's confidence instead of silently biasing the plan.
+	// A live probe is not a pure function of (seed, interval), so runs
+	// with a probe forfeit bit-identical replay: the journal
+	// cross-check after a restore is disabled while one is set.
+	// Out-of-range probe values are clamped, never fatal — a sick
+	// ingest tier must not take the control loop down with it.
+	LossProbe func() float64
 
 	// CrashAt injects a panic at the start of the given interval (> 0;
 	// 0 disables) — the fault hook the supervised-restart and recovery
@@ -200,7 +213,10 @@ func Open(cfg Config) (*Loop, error) {
 		// by the re-execution; only same-version records are usable as
 		// bit-exact expectations (re-encoding always stamps the current
 		// version, so an older record would be a guaranteed mismatch).
-		if v == recordVersion {
+		// A live loss probe makes re-execution legitimately divergent —
+		// the probe's readings are not replayable — so no expectations
+		// are collected under one.
+		if v == recordVersion && cfg.LossProbe == nil {
 			l.expected[t] = append([]byte{}, rec...)
 		}
 	}
@@ -257,13 +273,14 @@ func (l *Loop) Run(ctx context.Context, progress func()) error {
 		// The step runs on a background context so a graceful drain lets
 		// it finish; SolveTimeout still bounds a hung solve.
 		d, err := l.ctrl.StepResilient(context.Background(), control.StepInput{
-			Matrix:     l.scenario.Matrix,
-			Loads:      world.Loads,
-			Candidates: l.scenario.MonitorLinks,
-			InvSizes:   world.Inv,
-			Workers:    l.cfg.Workers,
-			Down:       l.plan.DownSet(t, l.scenario.MonitorLinks),
-			FailSolve:  l.plan.SolverOverrun(t),
+			Matrix:        l.scenario.Matrix,
+			Loads:         world.Loads,
+			Candidates:    l.scenario.MonitorLinks,
+			InvSizes:      world.Inv,
+			Workers:       l.cfg.Workers,
+			Down:          l.plan.DownSet(t, l.scenario.MonitorLinks),
+			FailSolve:     l.plan.SolverOverrun(t),
+			TransportLoss: l.probeLoss(),
 		})
 		if err != nil {
 			return fmt.Errorf("daemon: interval %d: %w", t, err)
@@ -293,6 +310,23 @@ func (l *Loop) Run(ctx context.Context, progress func()) error {
 		}
 	}
 	return l.drain(progress)
+}
+
+// probeLoss reads the configured loss probe, clamped into the [0, 1)
+// domain the controller accepts — NaN and negatives read as 0, a probe
+// claiming total loss is capped just under 1.
+func (l *Loop) probeLoss() float64 {
+	if l.cfg.LossProbe == nil {
+		return 0
+	}
+	loss := l.cfg.LossProbe()
+	switch {
+	case math.IsNaN(loss) || loss < 0:
+		return 0
+	case loss >= 1:
+		return 0.999999
+	}
+	return loss
 }
 
 // drain writes the final checkpoint of a graceful exit.

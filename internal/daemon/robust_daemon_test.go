@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 
@@ -84,6 +85,94 @@ func TestRobustKillRestoreBitIdentical(t *testing.T) {
 	}
 	if explored == 0 {
 		t.Fatal("no interval journaled an exploration grant")
+	}
+}
+
+// TestLossProbeFeedsControllerAndDisablesCrossCheck: a live loss probe
+// feeds each interval's transport-loss fraction into the robust step —
+// widening the tracker against the probe-free run — and, because probe
+// readings are not replayable, a restored loop skips the bit-identical
+// journal cross-check instead of reporting false divergence. Degenerate
+// probe readings are clamped, never fatal.
+func TestLossProbeFeedsControllerAndDisablesCrossCheck(t *testing.T) {
+	run := func(cfg Config) *Loop {
+		t.Helper()
+		loop, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loop.Run(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		loop.Close()
+		return loop
+	}
+
+	clean := run(robustConfig(t.TempDir()))
+	lossyCfg := robustConfig(t.TempDir())
+	lossyCfg.LossProbe = func() float64 { return 0.5 }
+	lossy := run(lossyCfg)
+	cs, ls := clean.ctrl.TrackerState(), lossy.ctrl.TrackerState()
+	wider := false
+	for i := range cs.Rel {
+		if ls.Rel[i] > cs.Rel[i] {
+			wider = true
+		}
+		if ls.Rel[i] < cs.Rel[i] {
+			t.Fatalf("link %d: probe run rel %v narrower than clean %v", i, ls.Rel[i], cs.Rel[i])
+		}
+	}
+	if !wider {
+		t.Fatal("a 50% loss probe left every tracked interval unchanged")
+	}
+
+	// Crash mid-run with a probe whose readings change across the
+	// restart: restore must succeed (no cross-check against the
+	// journaled tail) and the run completes all intervals.
+	dir := t.TempDir()
+	cfg := robustConfig(dir)
+	cfg.CrashAt = 10
+	loss := 0.1
+	cfg.LossProbe = func() float64 { return loss }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		loop, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loop.Close()
+		loop.Run(context.Background(), nil)
+	}()
+	cfg.CrashAt = 0
+	loss = 0.7 // post-restart readings diverge from the journaled tail
+	loop, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	if !loop.Restored() {
+		t.Fatal("loop did not restore from the checkpoint")
+	}
+	if len(loop.expected) != 0 {
+		t.Fatalf("%d cross-check expectations collected under a live probe", len(loop.expected))
+	}
+	if err := loop.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(journalRecords(t, dir)); got != cfg.Intervals {
+		t.Fatalf("journal has %d records, want %d", got, cfg.Intervals)
+	}
+
+	// Clamping: NaN, negative and >= 1 readings are tolerated.
+	for _, bad := range []float64{math.NaN(), -3, 1, 42} {
+		cfg := robustConfig(t.TempDir())
+		cfg.Intervals = 2
+		cfg.LossProbe = func() float64 { return bad }
+		run(cfg)
 	}
 }
 

@@ -1,0 +1,85 @@
+package ingest
+
+import (
+	"sync/atomic"
+
+	"netsamp/internal/netflow"
+	"netsamp/internal/packet"
+)
+
+// slotBytes is the fixed capacity of one ring slot: exactly one maximal
+// export datagram (header + 34 records = 1376 bytes, the exporter's MTU
+// budget). The pump rejects anything larger as malformed before the
+// ring is involved, so a slot copy can never truncate, and the tier's
+// memory is RingSize × slotBytes per shard — bounded by construction,
+// independent of offered load.
+const slotBytes = packet.HeaderSize + netflow.MaxRecordsPerDatagram*packet.RecordSize
+
+// slot is one reused datagram buffer. stamp carries the pump's
+// hand-off timestamp (UnixNano) for latency accounting; zero means
+// unstamped (step mode).
+type slot struct {
+	n     uint32
+	stamp int64
+	buf   [slotBytes]byte
+}
+
+// ring is a bounded single-producer/single-consumer queue of reused
+// datagram slots. The producer owns tail, the consumer owns head; each
+// publishes its cursor with a sequentially-consistent atomic store, so
+// the consumer observes a slot's contents only after the producer's
+// copy into it completed, and the producer reuses a slot only after
+// the consumer advanced past it. No locks, no allocation after
+// construction.
+type ring struct {
+	slots []slot
+	mask  uint64
+	head  atomic.Uint64 // next slot to consume (consumer-owned)
+	tail  atomic.Uint64 // next slot to fill (producer-owned)
+}
+
+// newRing builds a ring with capacity ≥ size, rounded up to a power of
+// two so index masking replaces modulo.
+func newRing(size int) *ring {
+	sz := 1
+	for sz < size {
+		sz <<= 1
+	}
+	return &ring{slots: make([]slot, sz), mask: uint64(sz - 1)}
+}
+
+// capacity returns the slot count.
+func (r *ring) capacity() int { return len(r.slots) }
+
+// length returns the current occupancy. Safe from either side; the
+// value is a snapshot and may be stale by one push or advance.
+func (r *ring) length() int { return int(r.tail.Load() - r.head.Load()) }
+
+// push copies b into the next free slot and publishes it. Producer
+// side only. It reports false, without copying, when the ring is full.
+func (r *ring) push(b []byte, stamp int64) bool {
+	t := r.tail.Load()
+	if int(t-r.head.Load()) == len(r.slots) {
+		return false
+	}
+	sl := &r.slots[t&r.mask]
+	sl.n = uint32(copy(sl.buf[:], b))
+	sl.stamp = stamp
+	r.tail.Store(t + 1)
+	return true
+}
+
+// peek returns the oldest queued slot without consuming it, so the
+// consumer can process in place and release the slot only when done.
+// Consumer side only.
+func (r *ring) peek() (*slot, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	return &r.slots[h&r.mask], true
+}
+
+// advance releases the slot the last peek returned, making it
+// reusable by the producer. Consumer side only.
+func (r *ring) advance() { r.head.Store(r.head.Load() + 1) }

@@ -1,0 +1,205 @@
+package ingest
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"netsamp/internal/netflow"
+)
+
+// DropStats breaks a shard's dropped records down by cause. Every
+// record the pump accepted but the estimator never saw is in exactly
+// one bucket — loss is always visible in a counter, never silent.
+type DropStats struct {
+	// Overload counts records rejected because the shard's ring was
+	// full (after the Block deadline, under that policy).
+	Overload uint64
+	// Malformed counts records of accepted datagrams whose record
+	// payload then failed to decode (the header and length were valid,
+	// so the datagram entered the sequence accounting).
+	Malformed uint64
+	// Shutdown counts records still queued when Close abandoned them.
+	Shutdown uint64
+	// Poisoned counts records of datagrams whose processing panicked;
+	// the supervisor-restarted worker skips the slot and accounts it
+	// here, so one bad datagram cannot crash-loop a shard.
+	Poisoned uint64
+}
+
+// Total sums the drop buckets.
+func (d DropStats) Total() uint64 {
+	return d.Overload + d.Malformed + d.Shutdown + d.Poisoned
+}
+
+func (d *DropStats) add(o DropStats) {
+	d.Overload += o.Overload
+	d.Malformed += o.Malformed
+	d.Shutdown += o.Shutdown
+	d.Poisoned += o.Poisoned
+}
+
+// ShardStats is one shard's accounting. At any instant
+// Records == Delivered + Dropped.Total() + Queued; after Close,
+// Queued is zero and the equality is exact over the whole run.
+type ShardStats struct {
+	Shard     int
+	Datagrams uint64 // datagrams the pump accepted for this shard
+	Records   uint64 // records those datagrams carried ("received")
+	Delivered uint64 // records decoded and handed to the estimator stage
+	Queued    uint64 // records accepted but still in the ring
+	Dropped   DropStats
+	// LostRecords and Duplicates are flow-sequence accounting (wire or
+	// exporter-side loss, upstream of this tier), summed over the
+	// shard's exporters. They are disjoint from Dropped.
+	LostRecords uint64
+	Duplicates  uint64
+	// CoarseBatches counts backlog sweeps processed in degraded mode
+	// (one lock acquisition for the whole sweep) — the shard coarsened
+	// its cadence before dropping anything.
+	CoarseBatches uint64
+	// Restarts counts supervisor restarts of this shard's worker after
+	// a panic; stats survive the restart.
+	Restarts uint64
+	// Stalled is set by the watchdog: queued work but no consumption
+	// progress across consecutive checks. GaveUp means the supervisor
+	// exhausted MaxRestarts; the pump keeps accounting drops.
+	Stalled bool
+	GaveUp  bool
+}
+
+// ExporterView is one exporter's merged accounting: the ingest-tier
+// invariant counters plus the flow-sequence stats from its SeqTracker.
+type ExporterView struct {
+	ID        uint32
+	Shard     int
+	Received  uint64
+	Delivered uint64
+	Queued    uint64
+	Dropped   uint64
+	Seq       netflow.ExporterStats
+}
+
+// View is a consistent-enough snapshot of the whole tier: shards in
+// ascending index order, exporters in ascending ID order, totals
+// summed over shards. Each shard is snapshotted atomically (under its
+// lock); cross-shard skew only moves records between Queued and
+// Delivered/Dropped, never out of the invariant.
+type View struct {
+	Shards    []ShardStats
+	Exporters []ExporterView
+
+	Datagrams   uint64
+	Records     uint64
+	Delivered   uint64
+	Queued      uint64
+	Dropped     DropStats
+	LostRecords uint64
+	Duplicates  uint64
+	// MalformedDatagrams counts datagrams the pump rejected before
+	// attribution (bad magic, truncated, oversized): they never entered
+	// Records and are outside the invariant by construction.
+	MalformedDatagrams uint64
+	// LossFraction is the estimator-facing loss estimate:
+	// (lost + dropped) / (received + lost).
+	LossFraction float64
+	// HandoffP99 is the 99th-percentile pump→worker hand-off latency
+	// (log₂-bucketed upper bound; zero when nothing was stamped).
+	HandoffP99 time.Duration
+}
+
+// CheckInvariant verifies received == delivered + dropped + queued on
+// every shard and every exporter. It returns nil when the books
+// balance; any non-nil return is a bug in the tier, and the soak and
+// fuzz harnesses treat it as fatal.
+func (v View) CheckInvariant() error {
+	for _, s := range v.Shards {
+		if s.Records != s.Delivered+s.Dropped.Total()+s.Queued {
+			return fmt.Errorf("ingest: shard %d accounting broken: received %d != delivered %d + dropped %d + queued %d",
+				s.Shard, s.Records, s.Delivered, s.Dropped.Total(), s.Queued)
+		}
+	}
+	for _, e := range v.Exporters {
+		if e.Received != e.Delivered+e.Dropped+e.Queued {
+			return fmt.Errorf("ingest: exporter %d accounting broken: received %d != delivered %d + dropped %d + queued %d",
+				e.ID, e.Received, e.Delivered, e.Dropped, e.Queued)
+		}
+	}
+	if v.Records != v.Delivered+v.Dropped.Total()+v.Queued {
+		return fmt.Errorf("ingest: total accounting broken: received %d != delivered %d + dropped %d + queued %d",
+			v.Records, v.Delivered, v.Dropped.Total(), v.Queued)
+	}
+	return nil
+}
+
+// lossFraction is the estimator-facing loss estimate used by the merge:
+// the probability that a record an exporter emitted never reached the
+// estimator, combining wire loss (sequence gaps) and this tier's own
+// drops. Clamped strictly below 1 so SetTransportLoss always accepts it
+// (an all-lost interval then reports near-infinite relative error, not
+// an error return).
+func lossFraction(lost, dropped, received uint64) float64 {
+	total := received + lost
+	if total == 0 {
+		return 0
+	}
+	frac := float64(lost+dropped) / float64(total)
+	if frac >= 1 {
+		frac = 0.999999
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}
+
+// latHist is a log₂-bucketed latency histogram: bucket i holds samples
+// whose nanosecond latency has bit length i, i.e. [2^(i-1), 2^i).
+// Fixed size, allocation-free add.
+type latHist struct {
+	buckets [48]uint64
+}
+
+func (h *latHist) add(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// quantile returns an upper bound on the q-quantile (q in (0,1]), or 0
+// when the histogram is empty.
+func (h *latHist) quantile(q float64) time.Duration {
+	var total uint64
+	for _, c := range h.buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= need {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(uint64(1)<<uint(len(h.buckets)) - 1)
+}

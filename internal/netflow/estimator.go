@@ -3,11 +3,11 @@ package netflow
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"netsamp/internal/packet"
 	"netsamp/internal/prefix"
+	"netsamp/internal/topology"
 )
 
 // ODClassifier maps a flow key to the index of the OD pair it belongs
@@ -76,6 +76,30 @@ func (e *Estimator) AddBatch(b Batch) {
 	}
 }
 
+// AddCounts folds pre-classified per-OD sampled packet counts into the
+// interval containing binStart — the sharded ingest tier's merge entry
+// point: shards accumulate locally without touching the estimator's
+// lock per record, then flush their deltas here at merge cadence.
+// Integer addition is exact and commutative, so the merged totals are
+// independent of shard count and merge order.
+func (e *Estimator) AddCounts(binStart uint32, counts []uint64) error {
+	if len(counts) != len(e.rho) {
+		return fmt.Errorf("netflow: %d counts for %d OD pairs", len(counts), len(e.rho))
+	}
+	bin := binStart - binStart%e.interval
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	acc, ok := e.bins[bin]
+	if !ok {
+		acc = make([]uint64, len(e.rho))
+		e.bins[bin] = acc
+	}
+	for k, c := range counts {
+		acc[k] += c
+	}
+	return nil
+}
+
 // SetTransportLoss informs the estimator of the transport-level record
 // loss fraction ℓ the collector observed via FlowSequence gaps (see
 // Collector.LossFraction). Estimates are renormalized by ρ·(1−ℓ) — the
@@ -120,11 +144,7 @@ type BinEstimate struct {
 func (e *Estimator) Estimates() []BinEstimate {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	starts := make([]uint32, 0, len(e.bins))
-	for s := range e.bins {
-		starts = append(starts, s)
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	starts := topology.SortedKeys(e.bins)
 	out := make([]BinEstimate, 0, len(starts))
 	for _, s := range starts {
 		counts := e.bins[s]

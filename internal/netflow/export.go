@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"netsamp/internal/packet"
+	"netsamp/internal/topology"
 )
 
 // MaxRecordsPerDatagram keeps an export datagram within a conservative
@@ -206,6 +207,11 @@ type CollectorStats struct {
 	Malformed   uint64
 	LostRecords uint64 // flow-sequence gaps summed over exporters
 	Duplicates  uint64 // duplicate/reordered datagrams summed over exporters
+	// DroppedRecords counts records that were decoded but never delivered
+	// on the batch channel because Close raced the hand-off: the shutdown
+	// path drops them and accounts them here instead of blocking forever
+	// on a consumer that already went away.
+	DroppedRecords uint64
 }
 
 // ExporterStats accounts one exporter's stream as seen by the
@@ -247,12 +253,62 @@ type seqHole struct {
 	count uint32
 }
 
-// exporterState is the collector's per-exporter sequence tracker.
-type exporterState struct {
+// SeqTracker is a per-exporter flow-sequence tracker: it turns the
+// NetFlow v5 FlowSequence convention into record-level loss accounting,
+// detecting gaps (lost records), reordered datagrams that refill a known
+// gap (loss credited back) and duplicates. Both the single-socket
+// Collector and the sharded ingest tier (internal/ingest) run one per
+// exporter; it is not synchronized — the owner serializes access.
+type SeqTracker struct {
 	next  uint32 // expected FlowSequence of the next datagram
 	seen  bool
 	holes []seqHole
 	stats ExporterStats
+}
+
+// Stats returns the tracker's accounting so far.
+func (t *SeqTracker) Stats() ExporterStats { return t.stats }
+
+// Account updates the tracker with one accepted datagram carrying count
+// records starting at flow sequence seq, and returns how the aggregate
+// loss accounting moved: lostDelta is the (possibly negative, when a
+// reordered datagram refills a gap) change in lost records, dup reports
+// a duplicate datagram. All arithmetic is uint32, so sequence wraparound
+// is handled naturally: a difference below 2^31 is a forward jump (a
+// gap), at or above it a step backwards (a reordered or duplicated
+// datagram).
+func (t *SeqTracker) Account(seq uint32, count uint32) (lostDelta int64, dup bool) {
+	if !t.seen {
+		t.seen = true
+		t.next = seq + count
+	} else {
+		switch diff := seq - t.next; {
+		case diff == 0: // in order
+			t.next = seq + count
+		case diff < 1<<31: // forward jump: diff records missing
+			t.stats.LostRecords += uint64(diff)
+			lostDelta = int64(diff)
+			if len(t.holes) == maxSeqHoles {
+				t.holes = t.holes[1:]
+			}
+			t.holes = append(t.holes, seqHole{start: t.next, count: diff})
+			t.next = seq + count
+		default: // behind: late arrival or duplicate
+			if i := t.findHole(seq, count); i >= 0 {
+				// A reordered datagram filled a known gap: credit the
+				// loss back.
+				t.stats.LostRecords -= uint64(count)
+				lostDelta = -int64(count)
+				t.shrinkHole(i, seq, count)
+			} else {
+				t.stats.Duplicates++
+				dup = true
+			}
+		}
+	}
+	t.stats.Datagrams++
+	t.stats.Received += uint64(count)
+	return lostDelta, dup
 }
 
 // Collector listens for export datagrams on UDP, decodes them and
@@ -263,10 +319,16 @@ type exporterState struct {
 type Collector struct {
 	conn *net.UDPConn
 	ch   chan Batch
+	// done is closed by Close before the socket: the read loop's channel
+	// hand-off selects on it, so a decoded batch nobody will consume is
+	// dropped (and accounted) instead of wedging the loop — and no send
+	// can race the shutdown.
+	done      chan struct{}
+	closeOnce sync.Once
 
 	mu    sync.Mutex
 	stats CollectorStats
-	exps  map[uint32]*exporterState
+	exps  map[uint32]*SeqTracker
 	wg    sync.WaitGroup
 }
 
@@ -288,9 +350,11 @@ func NewCollector(addr string) (*Collector, error) {
 	c := &Collector{
 		conn: conn,
 		ch:   make(chan Batch, 256),
-		exps: make(map[uint32]*exporterState),
+		done: make(chan struct{}),
+		exps: make(map[uint32]*SeqTracker),
 	}
 	c.wg.Add(1)
+	//netsamp:nondeterministic-ok live socket intake is outside replay; all downstream views (Exporters, Snapshot, Estimates) are sorted, and the batch channel + wg synchronize the loop
 	go c.readLoop()
 	return c, nil
 }
@@ -320,13 +384,22 @@ func (c *Collector) ExporterStats(id uint32) (ExporterStats, bool) {
 	return es.stats, true
 }
 
-// Exporters returns a snapshot of every known exporter's accounting.
-func (c *Collector) Exporters() map[uint32]ExporterStats {
+// ExporterAccount pairs an exporter ID with its accounting, for the
+// deterministic (sorted) Exporters listing.
+type ExporterAccount struct {
+	ID    uint32
+	Stats ExporterStats
+}
+
+// Exporters returns a snapshot of every known exporter's accounting in
+// ascending ID order — a deterministic listing consumers can range over
+// without inheriting map iteration order.
+func (c *Collector) Exporters() []ExporterAccount {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[uint32]ExporterStats, len(c.exps))
-	for id, es := range c.exps {
-		out[id] = es.stats
+	out := make([]ExporterAccount, 0, len(c.exps))
+	for _, id := range topology.SortedKeys(c.exps) {
+		out = append(out, ExporterAccount{ID: id, Stats: c.exps[id].stats})
 	}
 	return out
 }
@@ -344,8 +417,16 @@ func (c *Collector) LossFraction() float64 {
 }
 
 // Close shuts the listener down and waits for the read loop to drain.
+// A decoded batch the read loop is still holding when Close arrives is
+// counted in CollectorStats.DroppedRecords rather than sent: after Close
+// returns, no send on the batch channel can happen, even when the
+// consumer stopped reading first.
 func (c *Collector) Close() error {
-	err := c.conn.Close()
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.conn.Close()
+	})
 	c.wg.Wait()
 	return err
 }
@@ -363,7 +444,18 @@ func (c *Collector) readLoop() {
 		if !ok {
 			continue
 		}
-		c.ch <- batch
+		select {
+		case c.ch <- batch:
+		case <-c.done:
+			// Shutdown raced the hand-off: nobody is draining the
+			// channel anymore, so deliverability is gone. Account the
+			// batch as dropped — received == delivered + dropped stays
+			// exact — and exit without ever sending after Close.
+			c.mu.Lock()
+			c.stats.DroppedRecords += uint64(len(batch.Records))
+			c.mu.Unlock()
+			return
+		}
 	}
 }
 
@@ -410,55 +502,27 @@ func (c *Collector) decode(b []byte) (Batch, bool) {
 }
 
 // account updates the per-exporter flow-sequence bookkeeping for one
-// accepted datagram. All arithmetic is uint32, so sequence wraparound
-// is handled naturally: a difference below 2^31 is a forward jump (a
-// gap), at or above it a step backwards (a reordered or duplicated
-// datagram).
+// accepted datagram and folds the movement into the aggregate counters.
 func (c *Collector) account(h packet.Header) {
 	es := c.exps[h.Exporter]
 	if es == nil {
-		es = &exporterState{}
+		es = &SeqTracker{}
 		c.exps[h.Exporter] = es
 	}
 	count := uint32(h.Count)
-	if !es.seen {
-		es.seen = true
-		es.next = h.Seq + count
-	} else {
-		switch diff := h.Seq - es.next; {
-		case diff == 0: // in order
-			es.next = h.Seq + count
-		case diff < 1<<31: // forward jump: diff records missing
-			es.stats.LostRecords += uint64(diff)
-			c.stats.LostRecords += uint64(diff)
-			if len(es.holes) == maxSeqHoles {
-				es.holes = es.holes[1:]
-			}
-			es.holes = append(es.holes, seqHole{start: es.next, count: diff})
-			es.next = h.Seq + count
-		default: // behind: late arrival or duplicate
-			if i := es.findHole(h.Seq, count); i >= 0 {
-				// A reordered datagram filled a known gap: credit the
-				// loss back.
-				es.stats.LostRecords -= uint64(count)
-				c.stats.LostRecords -= uint64(count)
-				es.shrinkHole(i, h.Seq, count)
-			} else {
-				es.stats.Duplicates++
-				c.stats.Duplicates++
-			}
-		}
+	lostDelta, dup := es.Account(h.Seq, count)
+	c.stats.LostRecords = uint64(int64(c.stats.LostRecords) + lostDelta)
+	if dup {
+		c.stats.Duplicates++
 	}
-	es.stats.Datagrams++
-	es.stats.Received += uint64(count)
 	c.stats.Datagrams++
 	c.stats.Records += uint64(count)
 }
 
 // findHole returns the index of the hole containing [seq, seq+count),
 // or -1.
-func (es *exporterState) findHole(seq, count uint32) int {
-	for i, hole := range es.holes {
+func (t *SeqTracker) findHole(seq, count uint32) int {
+	for i, hole := range t.holes {
 		off := seq - hole.start // uint32 wraparound-safe offset
 		if off < hole.count && off+count <= hole.count {
 			return i
@@ -469,8 +533,8 @@ func (es *exporterState) findHole(seq, count uint32) int {
 
 // shrinkHole removes [seq, seq+count) from hole i, splitting it if the
 // filled range is interior.
-func (es *exporterState) shrinkHole(i int, seq, count uint32) {
-	hole := es.holes[i]
+func (t *SeqTracker) shrinkHole(i int, seq, count uint32) {
+	hole := t.holes[i]
 	off := seq - hole.start
 	var repl []seqHole
 	if off > 0 {
@@ -479,5 +543,5 @@ func (es *exporterState) shrinkHole(i int, seq, count uint32) {
 	if rest := hole.count - off - count; rest > 0 {
 		repl = append(repl, seqHole{start: seq + count, count: rest})
 	}
-	es.holes = append(es.holes[:i], append(repl, es.holes[i+1:]...)...)
+	t.holes = append(t.holes[:i], append(repl, t.holes[i+1:]...)...)
 }

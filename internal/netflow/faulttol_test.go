@@ -25,7 +25,7 @@ func dgram(exporter, seq uint32, count int) []byte {
 // offlineCollector builds a collector whose decode path can be driven
 // directly, without a socket.
 func offlineCollector() *Collector {
-	return &Collector{exps: make(map[uint32]*exporterState)}
+	return &Collector{exps: make(map[uint32]*SeqTracker)}
 }
 
 func TestExporterStatsGap(t *testing.T) {

@@ -32,7 +32,7 @@ func FuzzDecodeV5(f *testing.F) {
 // The corpus seeds the hardened paths explicitly: truncated headers,
 // mid-record cuts, counts exceeding the buffer, and trailing garbage.
 func FuzzCollectorDecode(f *testing.F) {
-	c := &Collector{exps: map[uint32]*exporterState{}}
+	c := &Collector{exps: map[uint32]*SeqTracker{}}
 	f.Add([]byte{})
 	f.Add(make([]byte, 16))
 	whole := dgram(1, 0, 3)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"netsamp/internal/state"
+	"netsamp/internal/topology"
 )
 
 // This file gives the collector's loss accounting a crash-safe form:
@@ -17,7 +18,13 @@ import (
 // ID), built on the state package primitives.
 
 // collectorSnapVersion stamps the CollectorSnapshot binary encoding.
-const collectorSnapVersion = 1
+// Version 2 added CollectorStats.DroppedRecords (shutdown-raced batches);
+// version-1 snapshots still decode, with zero dropped records.
+const collectorSnapVersion = 2
+
+// legacyCollectorSnapVersion is the newest prior snapshot version
+// UnmarshalBinary still reads.
+const legacyCollectorSnapVersion = 1
 
 // Hole is an outstanding missing record range [Start, Start+Count) in an
 // exporter's flow sequence, kept for reorder reconciliation.
@@ -51,7 +58,8 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 		Stats:     c.stats,
 		Exporters: make([]ExporterSnapshot, 0, len(c.exps)),
 	}
-	for id, es := range c.exps {
+	for _, id := range topology.SortedKeys(c.exps) {
+		es := c.exps[id]
 		holes := make([]Hole, len(es.holes))
 		for i, h := range es.holes {
 			holes[i] = Hole{Start: h.start, Count: h.count}
@@ -60,9 +68,6 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 			ID: id, Next: es.next, Seen: es.seen, Holes: holes, Stats: es.stats,
 		})
 	}
-	sort.Slice(snap.Exporters, func(i, j int) bool {
-		return snap.Exporters[i].ID < snap.Exporters[j].ID
-	})
 	return snap
 }
 
@@ -71,7 +76,7 @@ func (c *Collector) Snapshot() CollectorSnapshot {
 // off. Datagrams decoded between the snapshot and the restore are
 // re-observed as duplicates or gaps, never double-counted silently.
 func (c *Collector) Restore(snap CollectorSnapshot) error {
-	exps := make(map[uint32]*exporterState, len(snap.Exporters))
+	exps := make(map[uint32]*SeqTracker, len(snap.Exporters))
 	for _, es := range snap.Exporters {
 		if _, dup := exps[es.ID]; dup {
 			return fmt.Errorf("netflow: snapshot lists exporter %d twice", es.ID)
@@ -79,7 +84,7 @@ func (c *Collector) Restore(snap CollectorSnapshot) error {
 		if len(es.Holes) > maxSeqHoles {
 			return fmt.Errorf("netflow: snapshot of exporter %d has %d holes, limit %d", es.ID, len(es.Holes), maxSeqHoles)
 		}
-		st := &exporterState{next: es.Next, seen: es.Seen, stats: es.Stats}
+		st := &SeqTracker{next: es.Next, seen: es.Seen, stats: es.Stats}
 		for _, h := range es.Holes {
 			st.holes = append(st.holes, seqHole{start: h.Start, count: h.Count})
 		}
@@ -104,6 +109,7 @@ func (s CollectorSnapshot) MarshalBinary() ([]byte, error) {
 	e.U64(s.Stats.Malformed)
 	e.U64(s.Stats.LostRecords)
 	e.U64(s.Stats.Duplicates)
+	e.U64(s.Stats.DroppedRecords)
 	e.U32(uint32(len(exps)))
 	for _, es := range exps {
 		e.U32(es.ID)
@@ -126,7 +132,8 @@ func (s CollectorSnapshot) MarshalBinary() ([]byte, error) {
 // rejecting unknown versions and malformed payloads.
 func (s *CollectorSnapshot) UnmarshalBinary(b []byte) error {
 	d := state.NewDecoder(b)
-	if v := d.U16(); d.Err() == nil && v != collectorSnapVersion {
+	v := d.U16()
+	if d.Err() == nil && v != collectorSnapVersion && v != legacyCollectorSnapVersion {
 		return fmt.Errorf("netflow: unknown collector snapshot version %d", v)
 	}
 	s.Stats = CollectorStats{
@@ -135,6 +142,9 @@ func (s *CollectorSnapshot) UnmarshalBinary(b []byte) error {
 		Malformed:   d.U64(),
 		LostRecords: d.U64(),
 		Duplicates:  d.U64(),
+	}
+	if v >= 2 {
+		s.Stats.DroppedRecords = d.U64()
 	}
 	n := d.Len(13) // 13 bytes is the minimal exporter entry
 	s.Exporters = make([]ExporterSnapshot, 0, n)

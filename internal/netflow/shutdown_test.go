@@ -1,0 +1,154 @@
+package netflow
+
+import (
+	"sync"
+	"testing"
+
+	"netsamp/internal/packet"
+)
+
+// TestCollectorCloseWithStalledConsumer pins the shutdown contract: when
+// the batch channel's consumer went away, Close must still return
+// promptly, no send may happen after it, and every record the collector
+// decoded is either delivered on the channel or counted in
+// DroppedRecords — received == delivered + dropped, exactly. Run under
+// -race this also pins the done/closeOnce synchronization.
+func TestCollectorCloseWithStalledConsumer(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExporter(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody drains Batches: the channel buffer (256) fills and the read
+	// loop parks on the hand-off. Send enough datagrams to guarantee the
+	// park on any scheduler interleaving.
+	recs := make([]packet.Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = packet.Record{Key: packet.FiveTuple{Src: 1, Dst: 2, SrcPort: uint16(i), DstPort: 443, Proto: packet.ProtoTCP}, Packets: 1}
+	}
+	for i := 0; i < 400; i++ {
+		if err := exp.Export(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the read loop a chance to ingest; exact intake does not
+	// matter (UDP may shed datagrams — sequence gaps account those), the
+	// invariant below must hold for whatever was decoded.
+	var closers sync.WaitGroup
+	closers.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer closers.Done()
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	closers.Wait()
+	// After Close the channel is closed; drain what was delivered.
+	var delivered uint64
+	for b := range c.Batches() {
+		delivered += uint64(len(b.Records))
+	}
+	st := c.Stats()
+	if st.Records != delivered+st.DroppedRecords {
+		t.Fatalf("accounting: decoded %d != delivered %d + dropped %d",
+			st.Records, delivered, st.DroppedRecords)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportersSorted pins the deterministic exporter listing: ascending
+// IDs, one entry per exporter, stats matching the per-ID lookup.
+func TestExportersSorted(t *testing.T) {
+	c := offlineCollector()
+	for _, id := range []uint32{9, 3, 7, 1, 3, 9} {
+		c.decode(dgramFor(id, 0, 4))
+	}
+	accounts := c.Exporters()
+	if len(accounts) != 4 {
+		t.Fatalf("got %d exporters, want 4", len(accounts))
+	}
+	want := []uint32{1, 3, 7, 9}
+	for i, acc := range accounts {
+		if acc.ID != want[i] {
+			t.Fatalf("exporter %d: ID %d, want %d (listing must be ascending)", i, acc.ID, want[i])
+		}
+		st, ok := c.ExporterStats(acc.ID)
+		if !ok || st != acc.Stats {
+			t.Fatalf("exporter %d: listing stats %+v != lookup stats %+v", acc.ID, acc.Stats, st)
+		}
+	}
+}
+
+// dgramFor builds a datagram for an arbitrary exporter ID (dgram in
+// faulttol_test is fixed per-test; this variant varies the exporter).
+func dgramFor(exporter, seq uint32, n int) []byte {
+	h := packet.Header{Count: uint8(n), Seq: seq, Exporter: exporter}
+	b := h.AppendTo(nil)
+	for i := 0; i < n; i++ {
+		rec := packet.Record{
+			Key:     packet.FiveTuple{Src: packet.Addr(exporter), Dst: 2, SrcPort: uint16(i), DstPort: 443, Proto: packet.ProtoTCP},
+			Packets: 1,
+		}
+		b = rec.AppendTo(b)
+	}
+	return b
+}
+
+// TestEstimatorAddCounts pins the shard-merge entry point: AddCounts
+// folds pre-classified counts into the same bins Add would, so a sharded
+// pipeline and a single-threaded one produce identical estimates.
+func TestEstimatorAddCounts(t *testing.T) {
+	rho := []float64{0.5, 0.25}
+	classify := func(key packet.FiveTuple) (int, bool) { return int(key.DstPort), true }
+	direct, err := NewEstimator(300, rho, classify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := NewEstimator(300, rho, classify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two intervals, two ODs, via the record path...
+	for _, rec := range []packet.Record{
+		{Key: packet.FiveTuple{DstPort: 0}, Packets: 10, Start: 10},
+		{Key: packet.FiveTuple{DstPort: 1}, Packets: 4, Start: 250},
+		{Key: packet.FiveTuple{DstPort: 0}, Packets: 7, Start: 400},
+	} {
+		direct.Add(rec)
+	}
+	// ...and the same totals via two shards' merged counts.
+	if err := merged.AddCounts(10, []uint64{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.AddCounts(250, []uint64{0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.AddCounts(400, []uint64{7, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.AddCounts(10, []uint64{0}); err == nil {
+		t.Fatal("AddCounts accepted a mis-sized counts slice")
+	}
+	a, b := direct.Estimates(), merged.Estimates()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("bins: direct %d, merged %d, want 2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start {
+			t.Fatalf("bin %d: start %d != %d", i, a[i].Start, b[i].Start)
+		}
+		for k := range rho {
+			if a[i].Sampled[k] != b[i].Sampled[k] || a[i].Estimate[k] != b[i].Estimate[k] {
+				t.Fatalf("bin %d od %d: direct (%d, %v) != merged (%d, %v)",
+					i, k, a[i].Sampled[k], a[i].Estimate[k], b[i].Sampled[k], b[i].Estimate[k])
+			}
+		}
+	}
+}

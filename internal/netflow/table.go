@@ -10,6 +10,7 @@
 package netflow
 
 import (
+	"sort"
 	"sync"
 
 	"netsamp/internal/packet"
@@ -121,13 +122,15 @@ func (ft *FlowTable) Observe(key packet.FiveTuple, bytes uint32, now uint32) (sa
 }
 
 // evictOldestLocked removes and returns the entry with the earliest
-// start time. Caller holds the lock and has checked the table is
-// non-empty.
+// start time, ties broken by the flow-key total order so the victim is
+// independent of map iteration order. Caller holds the lock and has
+// checked the table is non-empty.
 func (ft *FlowTable) evictOldestLocked() packet.Record {
 	var oldestKey packet.FiveTuple
 	var oldest *packet.Record
+	//netsamp:nondeterministic-ok total-order min selection: (Start, key) is a strict order, so the winner is iteration-order independent
 	for k, e := range ft.entries {
-		if oldest == nil || e.Start < oldest.Start {
+		if oldest == nil || e.Start < oldest.Start || (e.Start == oldest.Start && k.Less(oldestKey)) {
 			oldestKey, oldest = k, e
 		}
 	}
@@ -136,13 +139,27 @@ func (ft *FlowTable) evictOldestLocked() packet.Record {
 	return *oldest
 }
 
+// sortRecords orders a sweep's emitted records deterministically: by
+// start time, then by the flow-key total order (keys are unique in the
+// table, so this is a strict order).
+func sortRecords(recs []packet.Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].Key.Less(recs[j].Key)
+	})
+}
+
 // Expire emits the records whose idle or active timeout has passed at
-// trace time now, removing them from the table. Call it periodically
-// (routers run this once a second).
+// trace time now, removing them from the table, in deterministic
+// (start-time, flow-key) order. Call it periodically (routers run this
+// once a second).
 func (ft *FlowTable) Expire(now uint32) []packet.Record {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	var out []packet.Record
+	//netsamp:nondeterministic-ok the emitted set is order-free (membership only); sortRecords below fixes the output order
 	for k, e := range ft.entries {
 		idle := now >= e.End && now-e.End >= ft.cfg.IdleTimeout
 		active := ft.cfg.ActiveTimeout > 0 && now >= e.Start && now-e.Start >= ft.cfg.ActiveTimeout
@@ -152,20 +169,23 @@ func (ft *FlowTable) Expire(now uint32) []packet.Record {
 			ft.stats.ExpiredFlows++
 		}
 	}
+	sortRecords(out)
 	return out
 }
 
-// Flush emits every remaining record (end of trace) and empties the
-// table.
+// Flush emits every remaining record (end of trace) in deterministic
+// (start-time, flow-key) order and empties the table.
 func (ft *FlowTable) Flush() []packet.Record {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	out := make([]packet.Record, 0, len(ft.entries))
+	//netsamp:nondeterministic-ok the emitted set is order-free (membership only); sortRecords below fixes the output order
 	for k, e := range ft.entries {
 		out = append(out, *e)
 		delete(ft.entries, k)
 		ft.stats.ExpiredFlows++
 	}
+	sortRecords(out)
 	return out
 }
 

@@ -49,6 +49,25 @@ func (t FiveTuple) Reverse() FiveTuple {
 	return FiveTuple{Src: t.Dst, Dst: t.Src, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
 }
 
+// Less is a total order on flow keys (src, dst, ports, proto) — the
+// tie-breaker deterministic flow-table sweeps sort by, so record
+// emission order never inherits Go's randomized map iteration.
+func (t FiveTuple) Less(o FiveTuple) bool {
+	if t.Src != o.Src {
+		return t.Src < o.Src
+	}
+	if t.Dst != o.Dst {
+		return t.Dst < o.Dst
+	}
+	if t.SrcPort != o.SrcPort {
+		return t.SrcPort < o.SrcPort
+	}
+	if t.DstPort != o.DstPort {
+		return t.DstPort < o.DstPort
+	}
+	return t.Proto < o.Proto
+}
+
 // FastHash returns a 64-bit FNV-1a hash of the tuple, suitable for
 // sharding flows across workers. It is not symmetric: use SymHash to
 // co-locate the two directions of a flow.

@@ -1,4 +1,10 @@
-package daemon
+// Package supervise restarts failing long-running tasks with bounded
+// exponential backoff, converting panics into errors that carry the
+// crashed goroutine's stack. It is the shared crash-recovery primitive
+// of the serve loop (internal/daemon) and the ingest tier's shard
+// workers (internal/ingest) — a leaf package so both can use it without
+// coupling to each other.
+package supervise
 
 import (
 	"context"
@@ -23,7 +29,7 @@ type CrashError struct {
 }
 
 func (e *CrashError) Error() string {
-	return fmt.Sprintf("daemon: task panicked: %v\n%s", e.Value, e.Stack)
+	return fmt.Sprintf("supervise: task panicked: %v\n%s", e.Value, e.Stack)
 }
 
 // Supervisor restarts a failing Task with bounded exponential backoff.
@@ -104,10 +110,10 @@ func (s *Supervisor) Run(ctx context.Context, task Task) error {
 		}
 		failures++
 		if failures >= s.maxFailures() {
-			s.logf("daemon: giving up after %d consecutive failures: %v", failures, err)
-			return fmt.Errorf("daemon: %d consecutive failures, last: %w", failures, err)
+			s.logf("supervise: giving up after %d consecutive failures: %v", failures, err)
+			return fmt.Errorf("supervise: %d consecutive failures, last: %w", failures, err)
 		}
-		s.logf("daemon: task failed (%d/%d), restarting in %v: %v", failures, s.maxFailures(), delay, err)
+		s.logf("supervise: task failed (%d/%d), restarting in %v: %v", failures, s.maxFailures(), delay, err)
 		s.sleep(ctx, delay)
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -127,22 +133,4 @@ func (s *Supervisor) attempt(ctx context.Context, task Task, progress func()) (e
 		}
 	}()
 	return task(ctx, progress)
-}
-
-// Serve is the supervised serve loop: each attempt re-opens the
-// persistence directory (restoring from the newest checkpoint a previous
-// attempt left behind) and runs until done or crash. This is what
-// `netsamp serve` runs.
-func Serve(ctx context.Context, cfg Config, sup *Supervisor) error {
-	if sup == nil {
-		sup = &Supervisor{}
-	}
-	return sup.Run(ctx, func(ctx context.Context, progress func()) error {
-		loop, err := Open(cfg)
-		if err != nil {
-			return err
-		}
-		defer loop.Close()
-		return loop.Run(ctx, progress)
-	})
 }

@@ -11,7 +11,9 @@
 package topology
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -283,15 +285,17 @@ func (g *Graph) DOT() string {
 	return b.String()
 }
 
-// SortedKeys returns the LinkID keys of m in ascending order. Replay
+// SortedKeys returns the keys of m in ascending order. Replay
 // determinism forbids letting Go's randomized map iteration order reach
 // any persisted or decision-bearing output; every such loop in the
 // replay-critical packages drains its map through this helper instead.
-func SortedKeys[V any](m map[LinkID]V) []LinkID {
-	keys := make([]LinkID, 0, len(m))
-	for lid := range m {
-		keys = append(keys, lid) //netsamp:nondeterministic-ok keys are sorted before return
+// The key type is generic over cmp.Ordered, so LinkID maps and the
+// NetFlow tier's uint32 exporter maps share one blessed idiom.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) //netsamp:nondeterministic-ok keys are sorted before return
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	return keys
 }
