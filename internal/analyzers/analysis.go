@@ -31,12 +31,42 @@
 //	//netsamp:err-ok <reason>
 //	    On or immediately above a discarded error: marks the discard as
 //	    deliberate best-effort.
-//	//netsamp:codec pair=<decodeFunc>
+//	//netsamp:codec pair=<decodeFunc> [reason]
 //	    On an encode function's doc comment: names the decode function
 //	    (same package) whose read sequence must mirror the writes.
-//	//netsamp:codec-ignore <field>[,<field>...]
+//	//netsamp:codec-ignore <field>[,<field>...] [reason]
 //	    On a MarshalBinary doc comment: struct fields deliberately
 //	    excluded from the encoding.
+//	//netsamp:guardedby <mu> [reason]
+//	    On a struct field declaration: the field may be read or written
+//	    only while <mu> (a sibling mutex field) is held — the access
+//	    site's enclosing function must lock <mu> first, carry a
+//	    //netsamp:holds <mu> contract, or be a constructor (name
+//	    beginning new/New).
+//	//netsamp:holds <mu> [reason]
+//	    On a function's doc comment: the caller-holds-lock contract.
+//	    Accesses to <mu>-guarded fields inside the function are allowed,
+//	    and every call of the function is itself checked for the lock.
+//	//netsamp:guarded-ok <reason>
+//	    On or immediately above a guarded-field access: suppresses a
+//	    guardedby finding (e.g. a read after all writers joined).
+//	//netsamp:atomic-ok <reason>
+//	    On or immediately above a plain access to an atomically-accessed
+//	    field: marks the mixed access as provably race-free.
+//	//netsamp:allocflow-ok <reason>
+//	    On or immediately above a call inside a //netsamp:noalloc
+//	    function: the callee is not annotated (or not resolvable) but is
+//	    known allocation-free.
+//	//netsamp:ctx-ok <reason>
+//	    On or immediately above a goroutine launch, in-loop sleep or
+//	    blocking channel send: cancellation is handled by other means
+//	    (e.g. closing the socket the loop reads).
+//
+// Every directive that takes a structured first argument (codec pair=,
+// codec-ignore's field list, guardedby's and holds' mutex name) treats
+// only the first whitespace-separated token as structure; the remainder
+// of the line is an uninterpreted free-text reason, so reasons may
+// contain ':', '=' or anything else.
 package analyzers
 
 import (
@@ -78,11 +108,23 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// DepFacts maps import paths to the syntax-derived facts of every
+	// package the driver has visited (the analyzed package's module-local
+	// dependency closure, plus itself). Nil entries and missing paths
+	// mean "no facts" — interprocedural checks must degrade to demanding
+	// a call-site annotation, never to silently passing.
+	DepFacts map[string]*PackageFacts
 
 	diags *[]Diagnostic
 	// lineComments maps file → line → the comments whose text starts on
 	// that line, for directive lookup.
 	lineComments map[*ast.File]map[int][]*ast.Comment
+	// codeLines maps file → lines containing non-comment tokens. A
+	// directive on such a line annotates that line only — it never
+	// doubles as the "line above" annotation of the next line, so a
+	// trailing directive on one struct field cannot leak to the field
+	// below it.
+	codeLines map[*ast.File]map[int]bool
 }
 
 // Reportf records a finding at pos.
@@ -99,7 +141,9 @@ const directivePrefix = "//netsamp:"
 
 // parseDirective splits a comment into (name, args) if it is a netsamp
 // directive, e.g. "//netsamp:alloc-ok reused scratch" →
-// ("alloc-ok", "reused scratch").
+// ("alloc-ok", "reused scratch"). args is the untokenized remainder of
+// the line: for reason-only directives it IS the reason, verbatim, so
+// reasons containing ':' or '=' survive intact.
 func parseDirective(c *ast.Comment) (name, args string, ok bool) {
 	text := c.Text
 	if !strings.HasPrefix(text, directivePrefix) {
@@ -110,11 +154,22 @@ func parseDirective(c *ast.Comment) (name, args string, ok bool) {
 	return strings.TrimSpace(name), strings.TrimSpace(args), true
 }
 
+// DirectiveArg splits a directive's argument string into its structured
+// first token and the free-text remainder (the reason). Directives whose
+// grammar is `<token> [reason]` — codec pair=, guardedby, holds,
+// codec-ignore — must parse through this so the reason is never
+// tokenized further.
+func DirectiveArg(args string) (first, reason string) {
+	first, reason, _ = strings.Cut(args, " ")
+	return strings.TrimSpace(first), strings.TrimSpace(reason)
+}
+
 func (p *Pass) buildLineComments() {
 	if p.lineComments != nil {
 		return
 	}
 	p.lineComments = make(map[*ast.File]map[int][]*ast.Comment, len(p.Files))
+	p.codeLines = make(map[*ast.File]map[int]bool, len(p.Files))
 	for _, f := range p.Files {
 		m := make(map[int][]*ast.Comment)
 		for _, cg := range f.Comments {
@@ -124,6 +179,17 @@ func (p *Pass) buildLineComments() {
 			}
 		}
 		p.lineComments[f] = m
+		code := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return true
+			}
+			code[p.Fset.Position(n.Pos()).Line] = true
+			code[p.Fset.Position(n.End()).Line] = true
+			return true
+		})
+		p.codeLines[f] = code
 	}
 }
 
@@ -148,6 +214,11 @@ func (p *Pass) LineDirective(pos token.Pos, name string) (args string, ok bool) 
 	}
 	line := p.Fset.Position(pos).Line
 	for _, l := range []int{line, line - 1} {
+		// A directive trailing code on the line above annotates that
+		// line, not this one (field-list leakage otherwise).
+		if l == line-1 && p.codeLines[f][l] {
+			continue
+		}
 		for _, c := range p.lineComments[f][l] {
 			if n, a, isDir := parseDirective(c); isDir && n == name {
 				return a, true
@@ -191,10 +262,23 @@ func (p *Pass) sourceFiles() []*ast.File {
 }
 
 // RunAnalyzers applies every analyzer (honoring AppliesTo) to every
-// package and returns the findings sorted by position.
+// package and returns the findings sorted by position. Facts-only
+// packages (module-local dependencies outside the requested patterns)
+// contribute their PackageFacts to every pass but are not themselves
+// analyzed.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	depFacts := make(map[string]*PackageFacts, len(pkgs))
+	for _, pkg := range pkgs {
+		if pkg.Facts == nil {
+			pkg.Facts = ExtractFacts(pkg.Files)
+		}
+		depFacts[pkg.Path] = pkg.Facts
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		if pkg.FactsOnly {
+			continue
+		}
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
@@ -205,6 +289,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				DepFacts: depFacts,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -233,8 +318,64 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		NoallocAnalyzer,
+		NoallocFlowAnalyzer,
+		AtomicFieldAnalyzer,
+		GuardedByAnalyzer,
+		CtxHygieneAnalyzer,
 		CodecPairAnalyzer,
+		CodecVerAnalyzer,
 		FloatCmpAnalyzer,
 		StickyErrAnalyzer,
 	}
+}
+
+// PackageFacts are the syntax-derived facts one package exports to its
+// dependents. They cross package boundaries where full type information
+// does not: the standalone driver extracts them from every module-local
+// package it lists, and the vettool protocol persists them in the
+// per-package .vetx files the go command threads between invocations.
+type PackageFacts struct {
+	// Noalloc lists the functions annotated //netsamp:noalloc, as "Fn"
+	// for package-level functions and "Type.Method" for methods — the
+	// vocabulary noallocflow resolves cross-package callees against.
+	Noalloc []string `json:"noalloc,omitempty"`
+}
+
+// HasNoalloc reports whether the facts record key ("Fn" or
+// "Type.Method") as a noalloc-annotated function.
+func (f *PackageFacts) HasNoalloc(key string) bool {
+	if f == nil {
+		return false
+	}
+	for _, k := range f.Noalloc {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtractFacts scans parsed files — syntax only, no type information —
+// for the facts dependent packages need. It must stay syntax-only: the
+// vettool extracts facts from dependency packages it never typechecks.
+func ExtractFacts(files []*ast.File) *PackageFacts {
+	facts := &PackageFacts{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := FuncDirective(fn, "noalloc"); !ok {
+				continue
+			}
+			key := fn.Name.Name
+			if tn := recvTypeName(fn); tn != "" {
+				key = tn + "." + fn.Name.Name
+			}
+			facts.Noalloc = append(facts.Noalloc, key)
+		}
+	}
+	sort.Strings(facts.Noalloc)
+	return facts
 }

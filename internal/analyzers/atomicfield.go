@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer enforces all-or-nothing atomicity on struct
+// fields: once any site in a package accesses a field through a
+// sync/atomic function (atomic.AddUint64(&s.n, …), atomic.LoadUint64,
+// …), every other access to that field must be atomic too. A single
+// plain read racing an atomic increment is the exact bug class the
+// ingest tier's stats snapshots are exposed to — the race detector only
+// catches it when a test happens to interleave, while this check
+// catches it at the access site.
+//
+// Two escape routes exist: constructors (functions whose name begins
+// new/New — the value is not yet shared) and an explicit
+// `//netsamp:atomic-ok <reason>` on the access line for provably
+// race-free mixes (e.g. a read after every writer goroutine joined).
+//
+// The analyzer also checks 64-bit placement: a plain int64/uint64 field
+// accessed through the 64-bit sync/atomic functions must sit at an
+// 8-byte-aligned offset under 32-bit layout rules (the first word of
+// the struct, or preceded only by 8-byte-aligned fields), or the
+// atomics panic on 386/ARM. Fields of the typed atomic.Int64/Uint64
+// kinds are exempt — the runtime aligns them itself.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that atomically-accessed struct fields are accessed atomically everywhere and 64-bit-aligned",
+	Run:  runAtomicField,
+}
+
+// atomicFns maps sync/atomic function names to whether they operate on
+// 64-bit values (for the alignment check). Pointer-typed and Value
+// operations are irrelevant to field-mixing, so only the integer/word
+// families are listed.
+var atomicFns = map[string]bool{
+	"AddInt32": false, "AddInt64": true, "AddUint32": false, "AddUint64": true, "AddUintptr": false,
+	"LoadInt32": false, "LoadInt64": true, "LoadUint32": false, "LoadUint64": true, "LoadUintptr": false,
+	"StoreInt32": false, "StoreInt64": true, "StoreUint32": false, "StoreUint64": true, "StoreUintptr": false,
+	"SwapInt32": false, "SwapInt64": true, "SwapUint32": false, "SwapUint64": true, "SwapUintptr": false,
+	"CompareAndSwapInt32": false, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": false, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": false,
+}
+
+// align32 computes struct layout the way a 32-bit gc target does; a
+// 64-bit counter that this layout misaligns will fault under atomic
+// access on 386/ARM even though amd64 runs it fine.
+var align32 = types.SizesFor("gc", "386")
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the atomically-accessed fields and the exact
+	// selector nodes that appear as sync/atomic arguments.
+	atomicFields := make(map[*types.Var][]token.Pos) // field → atomic-access positions
+	atomicSelectors := make(map[*ast.SelectorExpr]bool)
+	sixtyFour := make(map[*types.Var]bool)
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.Info, call)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			is64, known := atomicFns[fn.Name()]
+			if !known {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok || field.Pkg() != pass.Pkg {
+					continue
+				}
+				atomicFields[field] = append(atomicFields[field], sel.Pos())
+				atomicSelectors[sel] = true
+				if is64 {
+					sixtyFour[field] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic.
+	for _, f := range pass.sourceFiles() {
+		var stack []ast.Node // ast.Inspect emits one nil per pushed node
+		inConstructor := func() bool {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if fd, ok := stack[i].(*ast.FuncDecl); ok {
+					return isConstructorName(fd.Name.Name)
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSelectors[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, tracked := atomicFields[field]; !tracked {
+				return true
+			}
+			if inConstructor() {
+				return true
+			}
+			if reason, ok := pass.LineDirective(sel.Pos(), "atomic-ok"); ok {
+				if reason == "" {
+					pass.Reportf(sel.Pos(), "netsamp:atomic-ok requires a reason")
+				}
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package but plainly here; use the atomic accessor (or //netsamp:atomic-ok <reason> if the mix is provably race-free)",
+				field.Name())
+			return true
+		})
+	}
+
+	// Pass 3: 64-bit alignment placement under 32-bit layout.
+	for field := range sixtyFour {
+		checkAlign64(pass, field)
+	}
+	return nil
+}
+
+// isConstructorName reports whether a function name marks a constructor
+// (the value under construction is not yet shared between goroutines).
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New")
+}
+
+// checkAlign64 verifies the declaring struct places field at an
+// 8-byte-aligned offset under 32-bit layout.
+func checkAlign64(pass *Pass, field *types.Var) {
+	owner := findOwnerStruct(pass, field)
+	if owner == nil {
+		return
+	}
+	fields := make([]*types.Var, owner.NumFields())
+	idx := -1
+	for i := 0; i < owner.NumFields(); i++ {
+		fields[i] = owner.Field(i)
+		if owner.Field(i) == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	offsets := align32.Offsetsof(fields)
+	if offsets[idx]%8 != 0 {
+		pass.Reportf(field.Pos(),
+			"64-bit atomic field %s sits at offset %d under 32-bit layout; move it to the front of the struct (or after only 8-byte-aligned fields) so sync/atomic does not fault on 386/ARM",
+			field.Name(), offsets[idx])
+	}
+}
+
+// findOwnerStruct locates the struct type that declares field.
+func findOwnerStruct(pass *Pass, field *types.Var) *types.Struct {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return st
+			}
+		}
+	}
+	// Unnamed struct types (fields of anonymous structs): search the
+	// syntax for the declaring struct literal via type info.
+	for _, f := range pass.Files {
+		var found *types.Struct
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			stExpr, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[stExpr]
+			if !ok {
+				return true
+			}
+			st, ok := tv.Type.(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					found = st
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestAtomicFieldGolden(t *testing.T) {
+	runGolden(t, AtomicFieldAnalyzer, "atomicfield")
+}

@@ -130,7 +130,8 @@ func runCodecPair(pass *Pass) error {
 			if !ok || seen[enc] {
 				continue
 			}
-			pairName, found := strings.CutPrefix(arg, "pair=")
+			first, _ := DirectiveArg(arg)
+			pairName, found := strings.CutPrefix(first, "pair=")
 			if !found || pairName == "" {
 				pass.Reportf(enc.Pos(), "netsamp:codec directive requires pair=<decodeFunc>")
 				continue
@@ -272,7 +273,8 @@ func checkFieldCoverage(pass *Pass, typeName string, enc, dec *ast.FuncDecl) {
 	}
 	ignored := map[string]bool{}
 	if arg, ok := FuncDirective(enc, "codec-ignore"); ok {
-		for _, f := range strings.Split(arg, ",") {
+		fields, _ := DirectiveArg(arg)
+		for _, f := range strings.Split(fields, ",") {
 			ignored[strings.TrimSpace(f)] = true
 		}
 	}

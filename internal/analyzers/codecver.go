@@ -1,0 +1,235 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CodecFingerprintFile is the committed structural-fingerprint ledger
+// the codecver analyzer checks against. It lives at the module root
+// (next to go.mod); the analyzer walks up from the package directory
+// and stops at the first directory containing either the ledger or a
+// go.mod, so test fixtures can carry their own.
+const CodecFingerprintFile = "CODEC_FINGERPRINTS.json"
+
+// CodecFingerprint is one ledger entry: the version stamp a type's
+// encoding opens with, and the canonical rendering of its fields.
+type CodecFingerprint struct {
+	Version string `json:"version"`
+	Fields  string `json:"fields"`
+}
+
+// CodecVerAnalyzer catches silent codec drift across commits. The
+// codecpair analyzer proves encode and decode agree with each other
+// *today*; nothing in the source proves today's encoding agrees with
+// the checkpoints yesterday's binary wrote. This analyzer closes that
+// gap with a committed ledger: for every codec-paired struct it
+// computes a structural fingerprint (field names and types, in order)
+// plus the resolved version stamp, and compares against
+// CODEC_FINGERPRINTS.json. Changing a marshalled struct without
+// bumping its version constant is the finding that matters — the new
+// binary would misparse old payloads instead of rejecting them. Once
+// the version is bumped, the ledger is stale and
+// `netsamplint -write-codec-fingerprints` recommits it (README
+// documents the runbook).
+var CodecVerAnalyzer = &Analyzer{
+	Name: "codecver",
+	Doc:  "check codec-paired structs against the committed structural fingerprint ledger; field changes must bump the codec version",
+	Run:  runCodecVer,
+}
+
+// CodecFingerprintsForPackage computes the ledger entries contributed
+// by one loaded package, keyed "<import path>.<TypeName>". Drivers use
+// it to regenerate the committed file.
+func CodecFingerprintsForPackage(pkg *Package) map[string]CodecFingerprint {
+	if pkg == nil || pkg.FactsOnly || pkg.Types == nil {
+		return nil
+	}
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	return collectCodecFingerprints(pass)
+}
+
+// collectCodecFingerprints finds every type whose MarshalBinary emits
+// state-codec writes and fingerprints it.
+func collectCodecFingerprints(pass *Pass) map[string]CodecFingerprint {
+	out := make(map[string]CodecFingerprint)
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != "MarshalBinary" {
+				continue
+			}
+			tn := recvTypeName(fn)
+			if tn == "" {
+				continue
+			}
+			encOps := collectOps(pass, fn, "Encoder")
+			if len(encOps) == 0 {
+				continue
+			}
+			obj := pass.Pkg.Scope().Lookup(tn)
+			if obj == nil {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			out[pass.Pkg.Path()+"."+tn] = CodecFingerprint{
+				Version: resolveVersionStamp(pass, encOps),
+				Fields:  canonicalFields(pass.Pkg, st),
+			}
+		}
+	}
+	return out
+}
+
+// canonicalFields renders a struct's fields as "name type; ..." with
+// package-qualified types, stable across formatting changes.
+func canonicalFields(pkg *types.Package, st *types.Struct) string {
+	qual := types.RelativeTo(pkg)
+	parts := make([]string, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		parts = append(parts, f.Name()+" "+types.TypeString(f.Type(), qual))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// resolveVersionStamp extracts the version value the encoding opens
+// with: the constant value of the first version/magic identifier in
+// the first write's arguments, or the identifier's name when it is not
+// a constant, or "" when the encoding has no stamp (codecpair reports
+// that separately).
+func resolveVersionStamp(pass *Pass, encOps []codecOp) string {
+	first := encOps[0]
+	version := ""
+	for _, arg := range first.call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if version != "" {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lower := strings.ToLower(id.Name)
+			if !strings.Contains(lower, "version") && !strings.Contains(lower, "magic") {
+				return true
+			}
+			if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+				version = c.Val().String()
+			} else {
+				version = id.Name
+			}
+			return false
+		})
+		if version != "" {
+			break
+		}
+	}
+	return version
+}
+
+// findFingerprintFile walks up from dir to the first directory holding
+// the ledger or a go.mod; it returns the ledger path and whether the
+// file exists there.
+func findFingerprintFile(dir string) (string, bool) {
+	for {
+		path := filepath.Join(dir, CodecFingerprintFile)
+		if _, err := os.Stat(path); err == nil {
+			return path, true
+		}
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return path, false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return path, false
+		}
+		dir = parent
+	}
+}
+
+// LoadCodecFingerprints reads a committed ledger.
+func LoadCodecFingerprints(path string) (map[string]CodecFingerprint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ledger map[string]CodecFingerprint
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		return nil, fmt.Errorf("analyzers: parse %s: %w", path, err)
+	}
+	return ledger, nil
+}
+
+// WriteCodecFingerprints writes a ledger deterministically (JSON map
+// keys marshal sorted, plus a trailing newline) so regeneration diffs
+// cleanly.
+func WriteCodecFingerprints(path string, ledger map[string]CodecFingerprint) error {
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runCodecVer(pass *Pass) error {
+	fps := collectCodecFingerprints(pass)
+	if len(fps) == 0 {
+		return nil
+	}
+	var dir string
+	if len(pass.Files) > 0 {
+		dir = filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	}
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	path, found := findFingerprintFile(dir)
+	var ledger map[string]CodecFingerprint
+	if found {
+		var err error
+		ledger, err = LoadCodecFingerprints(path)
+		if err != nil {
+			return err
+		}
+	}
+
+	keys := make([]string, 0, len(fps))
+	for k := range fps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cur := fps[key]
+		tn := key[strings.LastIndex(key, ".")+1:]
+		pos := pass.Files[0].Pos()
+		if obj := pass.Pkg.Scope().Lookup(tn); obj != nil {
+			pos = obj.Pos()
+		}
+		rec, ok := ledger[key]
+		switch {
+		case !ok:
+			pass.Reportf(pos,
+				"codec-paired struct %s has no committed fingerprint in %s; run `netsamplint -write-codec-fingerprints` and commit the result",
+				tn, CodecFingerprintFile)
+		case rec.Fields != cur.Fields && rec.Version == cur.Version:
+			pass.Reportf(pos,
+				"%s's marshalled fields changed but its codec version stamp is still %s; bump the version constant so old payloads are rejected instead of misparsed, then regenerate %s",
+				tn, cur.Version, CodecFingerprintFile)
+		case rec.Fields != cur.Fields || rec.Version != cur.Version:
+			pass.Reportf(pos,
+				"%s's committed fingerprint is stale (version %s→%s); run `netsamplint -write-codec-fingerprints` and commit the result",
+				tn, rec.Version, cur.Version)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecVerGolden(t *testing.T) {
+	runGolden(t, CodecVerAnalyzer, "codecver")
+}
+
+// TestCodecFingerprintRoundTrip pins the ledger writer/loader pair:
+// what WriteCodecFingerprints emits, LoadCodecFingerprints reads back
+// identically, and the golden package's computed entries agree with
+// the committed fixture for the in-sync type.
+func TestCodecFingerprintRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "src", "codecver", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no codecver testdata: %v", err)
+	}
+	pkg, err := TypeCheck("codecver", files, testExports(t))
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fps := CodecFingerprintsForPackage(pkg)
+	want := map[string]CodecFingerprint{
+		"codecver.Good":     {Version: "1", Fields: "A uint64; B float64"},
+		"codecver.Unbumped": {Version: "3", Fields: "A uint64; B uint64"},
+		"codecver.Bumped":   {Version: "2", Fields: "A uint64; B uint64"},
+		"codecver.Fresh":    {Version: "1", Fields: "A uint64"},
+	}
+	if len(fps) != len(want) {
+		t.Fatalf("fingerprinted %d types, want %d: %v", len(fps), len(want), fps)
+	}
+	for k, w := range want {
+		if fps[k] != w {
+			t.Errorf("%s = %+v, want %+v", k, fps[k], w)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), CodecFingerprintFile)
+	if err := WriteCodecFingerprints(path, fps); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := LoadCodecFingerprints(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(back) != len(fps) {
+		t.Fatalf("round trip lost entries: wrote %d, read %d", len(fps), len(back))
+	}
+	for k, v := range fps {
+		if back[k] != v {
+			t.Errorf("round trip %s = %+v, want %+v", k, back[k], v)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SupervisedPackages are the packages whose goroutines live under the
+// supervision tree (DESIGN §12): every long-running worker there must
+// be stoppable, because the daemon's shutdown path waits for them and a
+// goroutine with no cancellation path turns shutdown into a hang (or a
+// leak under test, where the next test inherits the orphan).
+var SupervisedPackages = []string{
+	"netsamp/internal/ingest",
+	"netsamp/internal/supervise",
+	"netsamp/internal/daemon",
+	"netsamp/internal/engine",
+}
+
+// IsSupervised reports whether pkgPath hosts supervised goroutines.
+func IsSupervised(pkgPath string) bool {
+	for _, p := range SupervisedPackages {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// CtxHygieneAnalyzer enforces cancellation hygiene in supervised
+// packages. Three findings:
+//
+//  1. a `go` statement whose spawned body has no cancellation path —
+//     no select with a receive case, no range over a channel, and no
+//     ctx.Done()/stop-channel receive anywhere in the body. Such a
+//     goroutine can only exit by finishing its work, which for the
+//     loop-shaped workers these packages host means never.
+//
+//  2. `time.Sleep` lexically inside a for/range loop — a sleeping
+//     goroutine cannot observe a stop signal; the repo idiom is a
+//     timer (or ticker) polled from a select that also has the
+//     stop/ctx case.
+//
+//  3. a channel send outside any select — a send with no cancellation
+//     case blocks forever once the receiver is gone, which is exactly
+//     the state a shutdown produces.
+//
+// `//netsamp:ctx-ok <reason>` on the offending line acknowledges a
+// deliberate exception (e.g. a send on a buffered channel whose
+// capacity is provably sufficient, or a goroutine bounded by the
+// channel it ranges over being closed by the owner).
+var CtxHygieneAnalyzer = &Analyzer{
+	Name:      "ctxhygiene",
+	Doc:       "check that supervised-package goroutines are cancellable: stoppable spawn bodies, no bare sleeps in loops, no selectless sends",
+	AppliesTo: IsSupervised,
+	Run:       runCtxHygiene,
+}
+
+func runCtxHygiene(pass *Pass) error {
+	// Named function decls, so `go c.pump()` can be resolved to a body.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fn.Name]; obj != nil {
+				decls[obj] = fn
+			}
+		}
+	}
+	reported := make(map[token.Pos]bool) // dedupe sleeps under nested loops
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoCancellable(pass, n, decls)
+			case *ast.ForStmt:
+				checkLoopSleep(pass, n.Body, reported)
+			case *ast.RangeStmt:
+				checkLoopSleep(pass, n.Body, reported)
+			case *ast.SendStmt:
+				checkSendHasSelect(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxOK consumes a `//netsamp:ctx-ok <reason>` escape at pos; it
+// reports (and still suppresses) a missing reason.
+func ctxOK(pass *Pass, pos token.Pos) bool {
+	reason, ok := pass.LineDirective(pos, "ctx-ok")
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		pass.Reportf(pos, "netsamp:ctx-ok requires a reason")
+	}
+	return true
+}
+
+// checkGoCancellable demands the spawned body have a cancellation path.
+func checkGoCancellable(pass *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	if ctxOK(pass, g.Pos()) {
+		return
+	}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		obj := calleeObject(pass.Info, g.Call)
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg {
+			if decl, ok := decls[obj]; ok {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		// Cross-package or dynamic spawn target: its hygiene is checked
+		// where it is declared (or not at all, for foreign code) — the
+		// spawn site cannot be judged here.
+		return
+	}
+	if hasCancellationPath(body) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no cancellation path (no select with a receive, no range over a channel); give it a ctx/stop case or annotate //netsamp:ctx-ok <reason>")
+}
+
+// hasCancellationPath reports whether body contains a construct through
+// which a stop signal can reach the goroutine: a select with at least
+// one receive case, a range over a channel-typed expression (closed by
+// the owner to stop the worker), or a unary receive expression.
+func hasCancellationPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				switch cc.Comm.(type) {
+				case *ast.ExprStmt, *ast.AssignStmt:
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			// Syntactic check: ranging over anything that is not an
+			// obvious int/slice literal counts; the typed pass below
+			// is not available for nested literals spawned by name, so
+			// accept the range and let -race/soak catch abuse.
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLoopSleep flags time.Sleep lexically inside a loop body.
+func checkLoopSleep(pass *Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(pass.Info, call, "time", "Sleep") {
+			return true
+		}
+		if reported[call.Pos()] {
+			return true
+		}
+		reported[call.Pos()] = true
+		if ctxOK(pass, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.Sleep in a supervised loop cannot observe a stop signal; use a timer/ticker in a select with the stop case, or annotate //netsamp:ctx-ok <reason>")
+		return true
+	})
+}
+
+// checkSendHasSelect flags a channel send that is not a select case.
+func checkSendHasSelect(pass *Pass, file *ast.File, send *ast.SendStmt) {
+	inSelect := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if inSelect {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == send {
+				inSelect = true
+			}
+		}
+		return true
+	})
+	if inSelect {
+		return
+	}
+	if ctxOK(pass, send.Pos()) {
+		return
+	}
+	pass.Reportf(send.Pos(),
+		"channel send without a cancellation case blocks forever if the receiver is gone; wrap it in a select with the stop/ctx case, or annotate //netsamp:ctx-ok <reason>")
+}

@@ -1,0 +1,20 @@
+package analyzers
+
+import "testing"
+
+func TestCtxHygieneGolden(t *testing.T) {
+	runGolden(t, CtxHygieneAnalyzer, "ctxhygiene")
+}
+
+func TestSupervisedPackages(t *testing.T) {
+	for _, p := range SupervisedPackages {
+		if !IsSupervised(p) {
+			t.Errorf("IsSupervised(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"netsamp/internal/core", "netsamp/internal/netflow", "fmt"} {
+		if IsSupervised(p) {
+			t.Errorf("IsSupervised(%q) = true, want false", p)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedByAnalyzer enforces the `//netsamp:guardedby <mu>` field
+// directive: a struct field so annotated may only be read or written
+// while the named sibling mutex is held. The check is syntactic and
+// per-function — an access is considered guarded when, in source order
+// within the same function body, the most recent operation on
+// `<base>.<mu>` (where <base> is the access's receiver expression) is a
+// Lock or RLock with no intervening Unlock/RUnlock. Deferred unlocks do
+// not end the critical section (they run at return), and unlocks inside
+// cold error exits (an if-body ending in return or panic) are ignored —
+// the unlock-then-return-error idiom does not split the hot path's
+// critical section.
+//
+// Exemptions:
+//
+//   - functions annotated `//netsamp:holds <mu>` assert the caller
+//     holds the lock; their bodies access <mu>-guarded fields freely
+//     (the xxxLocked helper convention, now machine-checked);
+//   - constructors (names beginning new/New): the value is not yet
+//     shared;
+//   - `//netsamp:guarded-ok <reason>` on the access line, for accesses
+//     whose safety argument is structural rather than lock-based (e.g.
+//     a field read after all writer goroutines are joined).
+//
+// The directive also demands the named mutex actually exists as a
+// sibling field, so a rename cannot silently detach the annotation.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "check that //netsamp:guardedby <mu> fields are only accessed under the named mutex",
+	Run:  runGuardedBy,
+}
+
+// guardedField records one annotated field: the mutex field name that
+// guards it, inside which struct.
+type guardedField struct {
+	mu string
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields gathers annotated fields across the package,
+// keyed by the *types.Var of the field, validating that the named mutex
+// is a sibling field.
+func collectGuardedFields(pass *Pass) map[types.Object]guardedField {
+	guards := make(map[types.Object]guardedField)
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := pass.LineDirective(field.Pos(), "guardedby")
+				if !ok {
+					continue
+				}
+				mu, _ := DirectiveArg(arg)
+				if mu == "" {
+					pass.Reportf(field.Pos(), "netsamp:guardedby requires a mutex field name")
+					continue
+				}
+				if !siblings[mu] {
+					pass.Reportf(field.Pos(), "netsamp:guardedby names %s, which is not a field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					guards[obj] = guardedField{mu: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockEvent is one mutex operation observed in source order.
+type lockEvent struct {
+	pos  token.Pos
+	key  string // "<base>.<mu>"
+	held bool   // true for Lock/RLock, false for Unlock/RUnlock
+}
+
+func checkGuardedFunc(pass *Pass, fn *ast.FuncDecl, guards map[types.Object]guardedField) {
+	holdsMu := ""
+	if arg, ok := FuncDirective(fn, "holds"); ok {
+		holdsMu, _ = DirectiveArg(arg)
+		if holdsMu == "" {
+			pass.Reportf(fn.Pos(), "netsamp:holds requires a mutex field name")
+		}
+	}
+	constructor := isConstructorName(fn.Name.Name)
+	cold := coldErrorBlocks(pass, fn.Body)
+	checkGuardedBody(pass, fn.Body, guards, holdsMu, constructor, cold)
+}
+
+// checkGuardedBody scans one function body (function literals nested
+// inside are scanned separately — a goroutine does not inherit the
+// spawning frame's critical section).
+func checkGuardedBody(pass *Pass, body *ast.BlockStmt, guards map[types.Object]guardedField, holdsMu string, constructor bool, cold []*ast.BlockStmt) {
+	inCold := func(pos token.Pos) bool {
+		for _, b := range cold {
+			if b.Pos() <= pos && pos <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var events []lockEvent
+	type access struct {
+		sel   *ast.SelectorExpr
+		field string
+		key   string // "<base>.<mu>" that must be held
+		mu    string
+	}
+	var accesses []access
+	var lits []*ast.FuncLit
+	skipLit := func(pos token.Pos) bool {
+		for _, l := range lits {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			checkGuardedBody(pass, n.Body, guards, "", constructor, coldErrorBlocks(pass, n.Body))
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock runs at return; it does not end the
+			// critical section at its source position. Deferred locks
+			// are nonsense and likewise skipped.
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var held bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				held = true
+			case "Unlock", "RUnlock":
+				if inCold(n.Pos()) {
+					return true
+				}
+				held = false
+			default:
+				return true
+			}
+			key := exprString(sel.X)
+			if key == "" {
+				return true
+			}
+			events = append(events, lockEvent{pos: n.Pos(), key: key, held: held})
+			return true
+		case *ast.SelectorExpr:
+			s, ok := pass.Info.Selections[n]
+			if !ok {
+				return true
+			}
+			g, guarded := guards[s.Obj()]
+			if !guarded {
+				return true
+			}
+			base := exprString(n.X)
+			if base == "" {
+				// Unprintable receiver chains (calls, etc.) cannot be
+				// matched to a lock expression; demand an annotation.
+				base = "?"
+			}
+			accesses = append(accesses, access{sel: n, field: n.Sel.Name, key: base + "." + g.mu, mu: g.mu})
+			return true
+		}
+		return true
+	})
+
+	for _, a := range accesses {
+		if skipLit(a.sel.Pos()) {
+			continue
+		}
+		if constructor || (holdsMu != "" && holdsMu == a.mu) {
+			continue
+		}
+		held := false
+		for _, ev := range events {
+			if ev.pos >= a.sel.Pos() || ev.key != a.key {
+				continue
+			}
+			held = ev.held
+		}
+		if held {
+			continue
+		}
+		if reason, ok := pass.LineDirective(a.sel.Pos(), "guarded-ok"); ok {
+			if reason == "" {
+				pass.Reportf(a.sel.Pos(), "netsamp:guarded-ok requires a reason")
+			}
+			continue
+		}
+		pass.Reportf(a.sel.Pos(),
+			"field %s is //netsamp:guardedby %s but accessed without %s held; lock it, annotate the function //netsamp:holds %s, or annotate the access //netsamp:guarded-ok <reason>",
+			a.field, a.mu, a.key, a.mu)
+	}
+}

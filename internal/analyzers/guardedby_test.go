@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestGuardedByGolden(t *testing.T) {
+	runGolden(t, GuardedByAnalyzer, "guardedby")
+}

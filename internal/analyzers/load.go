@@ -13,16 +13,72 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
-// Package is one loaded, typechecked package ready for analysis.
+// Package is one loaded package ready for analysis. FactsOnly packages
+// are module-local dependencies of the requested patterns: their files
+// are parsed (so ExtractFacts sees their annotations) but they are not
+// typechecked or analyzed themselves.
 type Package struct {
-	Path  string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package // nil for facts-only packages
+	Info      *types.Info    // nil for facts-only packages
+	Facts     *PackageFacts
+	FactsOnly bool
 }
+
+// LoadErrorKind classifies a package-loading failure. Every failure mode
+// of the loader — a pattern that does not resolve, a vendored or broken
+// package the go command refuses, a source file that does not parse,
+// missing export data, a typecheck failure — surfaces as a *LoadError of
+// one of these kinds, never as a panic.
+type LoadErrorKind int
+
+const (
+	// LoadList: `go list` failed (unknown pattern, inconsistent
+	// vendoring, a build-broken target whose export data could not be
+	// produced) or reported a per-package error.
+	LoadList LoadErrorKind = iota
+	// LoadParse: a source file failed to parse.
+	LoadParse
+	// LoadTypecheck: the package parsed but did not typecheck.
+	LoadTypecheck
+	// LoadMissingExport: an import could not be resolved because no
+	// export data was supplied for it.
+	LoadMissingExport
+)
+
+func (k LoadErrorKind) String() string {
+	switch k {
+	case LoadList:
+		return "list"
+	case LoadParse:
+		return "parse"
+	case LoadTypecheck:
+		return "typecheck"
+	case LoadMissingExport:
+		return "missing-export-data"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// LoadError is a typed package-loading failure: which package (or
+// pattern), which stage, and the underlying cause.
+type LoadError struct {
+	Kind LoadErrorKind
+	Path string // import path, pattern, or file that failed
+	Err  error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("analyzers: %s %s: %v", e.Kind, e.Path, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
@@ -42,7 +98,15 @@ type listedPackage struct {
 // any stale export data as a side effect — the same data `go vet` hands
 // a vettool, so the standalone driver and the vettool protocol see
 // identical type information. Test files are not loaded.
+//
+// Module-local dependencies outside the patterns come back as facts-only
+// packages: parsed for their //netsamp: annotations (so interprocedural
+// checks resolve cross-package callees) but not analyzed.
 func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, &LoadError{Kind: LoadList, Path: dir, Err: err}
+	}
 	metas, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -55,11 +119,24 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	}
 	var pkgs []*Package
 	for _, m := range metas {
-		if m.Standard || m.DepOnly {
+		if m.Standard {
+			continue
+		}
+		if m.DepOnly {
+			// Facts-only: a dependency inside this module still carries
+			// annotations the analyzed packages rely on.
+			if !inDir(m.Dir, absDir) {
+				continue
+			}
+			pkg, err := parseFactsOnly(m)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
 			continue
 		}
 		if m.Error != nil {
-			return nil, fmt.Errorf("analyzers: load %s: %s", m.ImportPath, m.Error.Err)
+			return nil, &LoadError{Kind: LoadList, Path: m.ImportPath, Err: fmt.Errorf("%s", m.Error.Err)}
 		}
 		var files []string
 		for _, f := range m.GoFiles {
@@ -74,6 +151,35 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// inDir reports whether path lies inside (or is) dir.
+func inDir(path, dir string) bool {
+	if path == "" {
+		return false
+	}
+	return path == dir || strings.HasPrefix(path, dir+string(filepath.Separator))
+}
+
+// parseFactsOnly parses one dependency package for fact extraction.
+func parseFactsOnly(m listedPackage) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range m.GoFiles {
+		path := filepath.Join(m.Dir, f)
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, &LoadError{Kind: LoadParse, Path: path, Err: err}
+		}
+		parsed = append(parsed, af)
+	}
+	return &Package{
+		Path:      m.ImportPath,
+		Fset:      fset,
+		Files:     parsed,
+		Facts:     ExtractFacts(parsed),
+		FactsOnly: true,
+	}, nil
+}
+
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
@@ -85,7 +191,11 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("analyzers: go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, &LoadError{
+			Kind: LoadList,
+			Path: strings.Join(patterns, " "),
+			Err:  fmt.Errorf("go list: %v\n%s", err, stderr.String()),
+		}
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var metas []listedPackage
@@ -94,7 +204,11 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 		if err := dec.Decode(&m); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("analyzers: decode go list output: %w", err)
+			return nil, &LoadError{
+				Kind: LoadList,
+				Path: strings.Join(patterns, " "),
+				Err:  fmt.Errorf("decode go list output: %w", err),
+			}
 		}
 		metas = append(metas, m)
 	}
@@ -138,19 +252,41 @@ func typeCheckMapped(importPath string, files []string, importMap, exports map[s
 	for _, f := range files {
 		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("analyzers: parse %s: %w", f, err)
+			return nil, &LoadError{Kind: LoadParse, Path: f, Err: err}
 		}
 		parsed = append(parsed, af)
 	}
 	info := NewInfo()
+	var missing []string
+	lookup := ExportLookup(importMap, exports)
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", ExportLookup(importMap, exports)),
+		Importer: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			rc, err := lookup(path)
+			if err != nil {
+				missing = append(missing, path)
+			}
+			return rc, err
+		}),
 	}
 	tpkg, err := conf.Check(importPath, fset, parsed, info)
 	if err != nil {
-		return nil, fmt.Errorf("analyzers: typecheck %s: %w", importPath, err)
+		if len(missing) > 0 {
+			return nil, &LoadError{
+				Kind: LoadMissingExport,
+				Path: importPath,
+				Err:  fmt.Errorf("no export data for %s: %w", strings.Join(missing, ", "), err),
+			}
+		}
+		return nil, &LoadError{Kind: LoadTypecheck, Path: importPath, Err: err}
 	}
-	return &Package{Path: importPath, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+		Facts: ExtractFacts(parsed),
+	}, nil
 }
 
 // NewInfo allocates a fully populated types.Info.

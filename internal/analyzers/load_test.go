@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// wantLoadError asserts err is a *LoadError of the given kind.
+func wantLoadError(t *testing.T, err error, kind LoadErrorKind) *LoadError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("got nil error, want *LoadError kind %s", kind)
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("got %T (%v), want *LoadError", err, err)
+	}
+	if le.Kind != kind {
+		t.Fatalf("got kind %s (%v), want %s", le.Kind, le, kind)
+	}
+	if le.Unwrap() == nil {
+		t.Fatalf("LoadError of kind %s carries no cause", kind)
+	}
+	return le
+}
+
+func TestLoadPackagesUnknownPattern(t *testing.T) {
+	_, err := LoadPackages(".", []string{"netsamp/internal/doesnotexist"})
+	wantLoadError(t, err, LoadList)
+}
+
+// TestLoadPackagesInconsistentVendoring points the loader at a module
+// whose vendor directory exists without vendor/modules.txt — the go
+// command refuses such a tree, and the refusal must surface as a typed
+// list error, not a panic.
+func TestLoadPackagesInconsistentVendoring(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/vendored\n\ngo 1.22\n\nrequire example.com/dep v1.0.0\n")
+	write("main.go", "package main\n\nfunc main() {}\n")
+	write("vendor/example.com/dep/dep.go", "package dep\n")
+	_, err := LoadPackages(dir, []string{"./..."})
+	wantLoadError(t, err, LoadList)
+}
+
+func TestTypeCheckSyntaxError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.go")
+	if err := os.WriteFile(path, []byte("package broken\n\nfunc f( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TypeCheck("broken", []string{path}, nil)
+	le := wantLoadError(t, err, LoadParse)
+	if le.Path != path {
+		t.Fatalf("LoadParse path = %q, want %q", le.Path, path)
+	}
+}
+
+func TestTypeCheckMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "imports.go")
+	src := "package imports\n\nimport \"fmt\"\n\nfunc f() { fmt.Println() }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TypeCheck("imports", []string{path}, map[string]string{})
+	wantLoadError(t, err, LoadMissingExport)
+}
+
+func TestTypeCheckTypeError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "badtypes.go")
+	src := "package badtypes\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TypeCheck("badtypes", []string{path}, nil)
+	wantLoadError(t, err, LoadTypecheck)
+}
+
+// TestLoadPackagesFactsOnlyDeps loads one real package of this module
+// and checks its module-local dependencies arrive as facts-only
+// packages: parsed, fact-bearing, not typechecked.
+func TestLoadPackagesFactsOnlyDeps(t *testing.T) {
+	pkgs, err := LoadPackages("../..", []string{"netsamp/internal/ingest"})
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	var analyzed, factsOnly int
+	for _, p := range pkgs {
+		if p.FactsOnly {
+			factsOnly++
+			if p.Types != nil || p.Info != nil {
+				t.Errorf("facts-only package %s was typechecked", p.Path)
+			}
+			if p.Facts == nil {
+				t.Errorf("facts-only package %s carries no facts", p.Path)
+			}
+		} else {
+			analyzed++
+			if p.Types == nil || p.Info == nil {
+				t.Errorf("analyzed package %s missing type info", p.Path)
+			}
+		}
+	}
+	if analyzed != 1 {
+		t.Errorf("analyzed %d packages, want 1", analyzed)
+	}
+	if factsOnly == 0 {
+		t.Error("no facts-only dependencies loaded; ingest depends on at least packet")
+	}
+	// The packet package's noalloc annotations must be visible as facts.
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "netsamp/internal/packet" && p.Facts != nil && len(p.Facts.Noalloc) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("netsamp/internal/packet facts missing or empty")
+	}
+}

@@ -1,0 +1,75 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// typeCheckSource typechecks a single in-memory source file as package
+// importPath, resolving imports through the shared testdata exports.
+func typeCheckSource(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), importPath+".go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatalf("write source: %v", err)
+	}
+	pkg, err := TypeCheck(importPath, []string{path}, testExports(t))
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", importPath, err)
+	}
+	return pkg
+}
+
+func TestNoallocFlowGolden(t *testing.T) {
+	runGolden(t, NoallocFlowAnalyzer, "noallocflow")
+}
+
+// TestNoallocFlowDepFacts exercises the cross-package path: a callee
+// annotated in a dependency's PackageFacts is accepted; the same call
+// without facts is a finding. The golden package cannot carry a second
+// package, so the facts map is injected directly.
+func TestNoallocFlowDepFacts(t *testing.T) {
+	src := `package depfacts
+
+import "math/rand"
+
+//netsamp:noalloc
+func draw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+`
+	for _, tc := range []struct {
+		name     string
+		facts    map[string]*PackageFacts
+		findings int
+	}{
+		{"annotated-in-dep", map[string]*PackageFacts{
+			"math/rand": {Noalloc: []string{"Rand.Float64"}},
+		}, 0},
+		{"no-facts", nil, 1},
+		{"facts-without-key", map[string]*PackageFacts{
+			"math/rand": {Noalloc: []string{"Rand.Int63"}},
+		}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := typeCheckSource(t, "depfacts", src)
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: NoallocFlowAnalyzer,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				DepFacts: tc.facts,
+				diags:    &diags,
+			}
+			if err := NoallocFlowAnalyzer.Run(pass); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(diags) != tc.findings {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.findings, diags)
+			}
+		})
+	}
+}

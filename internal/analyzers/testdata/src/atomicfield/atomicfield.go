@@ -1,0 +1,91 @@
+// Package atomicfield is golden-test input for the all-or-nothing
+// atomic-access rule and the 64-bit alignment placement check.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters mixes atomic and plain access to n.
+type counters struct {
+	n    uint64
+	hits uint64
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.n, 1)
+	c.hits++ // plain field never touched atomically: fine
+}
+
+func (c *counters) read() uint64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere in this package but plainly here`
+}
+
+func (c *counters) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// newCounters initializes plainly inside a constructor: exempt, the
+// value is not yet shared.
+func newCounters() *counters {
+	c := &counters{}
+	c.n = 0
+	return c
+}
+
+// drain reads plainly after external synchronization, with the escape
+// hatch carrying its safety argument.
+func (c *counters) drain(wg *sync.WaitGroup) uint64 {
+	wg.Wait()
+	//netsamp:atomic-ok all writers joined above, no concurrent access remains
+	return c.n
+}
+
+// drainBad uses the escape hatch without a reason.
+func (c *counters) drainBad() uint64 {
+	//netsamp:atomic-ok
+	return c.n // want `netsamp:atomic-ok requires a reason`
+}
+
+// misaligned places its 64-bit atomic counter after a bool: offset 4
+// under 32-bit layout, so atomic access faults on 386/ARM.
+type misaligned struct {
+	ready bool
+	count uint64 // want `64-bit atomic field count sits at offset 4 under 32-bit layout`
+}
+
+func (m *misaligned) bump() {
+	atomic.AddUint64(&m.count, 1)
+}
+
+// aligned leads with the 64-bit field: clean.
+type aligned struct {
+	count uint64
+	ready bool
+}
+
+func (a *aligned) bump() {
+	atomic.AddUint64(&a.count, 1)
+}
+
+// typed uses the self-aligning typed atomics: never flagged, plain
+// access is impossible by construction.
+type typed struct {
+	ready bool
+	count atomic.Uint64
+}
+
+func (t *typed) bump() {
+	t.count.Add(1)
+}
+
+// only32 uses a 32-bit atomic: no alignment demand.
+type only32 struct {
+	pad bool
+	n   uint32
+}
+
+func (o *only32) bump() {
+	atomic.AddUint32(&o.n, 1)
+}

@@ -1,0 +1,91 @@
+// Package codecver is golden-test input for the fingerprint-ledger
+// check: the CODEC_FINGERPRINTS.json next to this file plays the role
+// of the committed module-root ledger (the analyzer stops its upward
+// search at the first directory holding one).
+package codecver
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U8(v uint8)     {}
+func (e *Encoder) Bool(v bool)    {}
+func (e *Encoder) U16(v uint16)   {}
+func (e *Encoder) U32(v uint32)   {}
+func (e *Encoder) U64(v uint64)   {}
+func (e *Encoder) I64(v int64)    {}
+func (e *Encoder) F64(v float64)  {}
+func (e *Encoder) Bytes(v []byte) {}
+func (e *Encoder) Data() []byte   { return e.buf }
+
+const goodVersion = 1
+
+// Good matches its ledger entry exactly: no finding.
+type Good struct {
+	A uint64
+	B float64
+}
+
+func (g *Good) MarshalBinary() ([]byte, error) {
+	var e Encoder
+	e.U16(goodVersion)
+	e.U64(g.A)
+	e.F64(g.B)
+	return e.Data(), nil
+}
+
+const unbumpedVersion = 3
+
+// Unbumped gained field B since the ledger was written but still
+// stamps version 3: old payloads would misparse, not be rejected.
+type Unbumped struct { // want `Unbumped's marshalled fields changed but its codec version stamp is still 3`
+	A uint64
+	B uint64
+}
+
+func (u *Unbumped) MarshalBinary() ([]byte, error) {
+	var e Encoder
+	e.U16(unbumpedVersion)
+	e.U64(u.A)
+	e.U64(u.B)
+	return e.Data(), nil
+}
+
+const bumpedVersion = 2
+
+// Bumped did the right thing — fields changed AND the version moved —
+// so only the ledger is stale and needs regenerating.
+type Bumped struct { // want `Bumped's committed fingerprint is stale`
+	A uint64
+	B uint64
+}
+
+func (b *Bumped) MarshalBinary() ([]byte, error) {
+	var e Encoder
+	e.U16(bumpedVersion)
+	e.U64(b.A)
+	e.U64(b.B)
+	return e.Data(), nil
+}
+
+const freshVersion = 1
+
+// Fresh is codec-paired but was never fingerprinted.
+type Fresh struct { // want `codec-paired struct Fresh has no committed fingerprint`
+	A uint64
+}
+
+func (f *Fresh) MarshalBinary() ([]byte, error) {
+	var e Encoder
+	e.U16(freshVersion)
+	e.U64(f.A)
+	return e.Data(), nil
+}
+
+// Plain has a MarshalBinary that does not touch the state codec: not
+// fingerprinted, never flagged.
+type Plain struct {
+	A uint64
+}
+
+func (p *Plain) MarshalBinary() ([]byte, error) {
+	return []byte{byte(p.A)}, nil
+}

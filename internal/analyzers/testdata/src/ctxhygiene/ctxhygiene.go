@@ -1,0 +1,137 @@
+// Package ctxhygiene is golden-test input for cancellation hygiene in
+// supervised packages: stoppable goroutines, no bare sleeps in loops,
+// no selectless sends.
+package ctxhygiene
+
+import "time"
+
+type worker struct {
+	stop chan struct{}
+	jobs chan int
+	out  chan int
+}
+
+// runSelect is stoppable through its select: clean.
+func (w *worker) runSelect() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// runRange is stoppable by closing the channel it ranges over: clean.
+func (w *worker) runRange() {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+// runNamed spawns a named method whose body has a select: clean.
+func (w *worker) runNamed() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+// runForever spins with no way in for a stop signal.
+func (w *worker) runForever() {
+	go func() { // want `goroutine has no cancellation path`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// runNamedForever spawns a named unstoppable body.
+func (w *worker) runNamedForever() {
+	go w.spin() // want `goroutine has no cancellation path`
+}
+
+func (w *worker) spin() {
+	for {
+	}
+}
+
+// runEscaped acknowledges a bounded fire-and-forget goroutine.
+func (w *worker) runEscaped(done func()) {
+	//netsamp:ctx-ok runs once and exits; bounded by the done callback
+	go done()
+}
+
+// pollLoop sleeps inside its loop, blind to shutdown.
+func (w *worker) pollLoop() {
+	for {
+		time.Sleep(time.Second) // want `time.Sleep in a supervised loop cannot observe a stop signal`
+	}
+}
+
+// pollTimer uses the timer-in-select idiom: clean.
+func (w *worker) pollTimer() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// startupSleep outside any loop is not flagged (one-shot delays are a
+// different argument from unobservable loop sleeps).
+func (w *worker) startupSleep() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// sleepEscaped documents a deliberate in-loop backoff.
+func (w *worker) sleepEscaped() {
+	for i := 0; i < 3; i++ {
+		//netsamp:ctx-ok bounded 3-iteration retry backoff during startup only
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sendBare blocks forever once the receiver is gone.
+func (w *worker) sendBare(v int) {
+	w.out <- v // want `channel send without a cancellation case`
+}
+
+// sendSelect has the stop case: clean.
+func (w *worker) sendSelect(v int) {
+	select {
+	case w.out <- v:
+	case <-w.stop:
+	}
+}
+
+// sendEscaped documents a capacity argument.
+func (w *worker) sendEscaped(v int) {
+	//netsamp:ctx-ok buffered to len(shards), never more than one outstanding per shard
+	w.out <- v
+}
+
+// sendEscapedNoReason forgets the reason.
+func (w *worker) sendEscapedNoReason(v int) {
+	//netsamp:ctx-ok
+	w.out <- v // want `netsamp:ctx-ok requires a reason`
+}

@@ -1,0 +1,120 @@
+// Package guardedby is golden-test input for the //netsamp:guardedby
+// field directive: annotated fields may only be accessed under the
+// named sibling mutex.
+package guardedby
+
+import (
+	"errors"
+	"sync"
+)
+
+var errClosed = errors.New("closed")
+
+type table struct {
+	mu sync.Mutex
+	//netsamp:guardedby mu
+	entries map[string]int
+	//netsamp:guardedby mu
+	hits uint64
+	name string // unguarded: freely accessible
+}
+
+func newTable() *table {
+	t := &table{}
+	t.entries = map[string]int{} // constructor: exempt
+	t.hits = 0
+	return t
+}
+
+func (t *table) get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++ // deferred unlock does not end the critical section
+	return t.entries[k]
+}
+
+func (t *table) getUnlocked(k string) int {
+	return t.entries[k] // want `field entries is //netsamp:guardedby mu but accessed without t.mu held`
+}
+
+func (t *table) size() int {
+	t.mu.Lock()
+	n := len(t.entries)
+	t.mu.Unlock()
+	return n + len(t.name) // name is unguarded: fine after unlock
+}
+
+func (t *table) afterUnlock() int {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.entries[""] // want `field entries is //netsamp:guardedby mu but accessed without t.mu held`
+}
+
+// errExit unlocks on the cold error path; the hot-path access after the
+// if-block is still inside the critical section.
+func (t *table) errExit(k string) (int, error) {
+	t.mu.Lock()
+	if t.entries == nil {
+		t.mu.Unlock()
+		return 0, errClosed
+	}
+	v := t.entries[k]
+	t.mu.Unlock()
+	return v, nil
+}
+
+// sizeLocked documents its contract: the caller holds mu.
+//
+//netsamp:holds mu
+func (t *table) sizeLocked() int {
+	return len(t.entries)
+}
+
+// escape carries a structural safety argument.
+func (t *table) snapshotAfterStop() uint64 {
+	//netsamp:guarded-ok single-threaded after Stop, all workers joined
+	return t.hits
+}
+
+func (t *table) escapeNoReason() uint64 {
+	//netsamp:guarded-ok
+	return t.hits // want `netsamp:guarded-ok requires a reason`
+}
+
+// spawned goroutines do not inherit the spawning frame's lock.
+func (t *table) leak() {
+	t.mu.Lock()
+	go func() {
+		t.hits++ // want `field hits is //netsamp:guardedby mu but accessed without t.mu held`
+	}()
+	t.mu.Unlock()
+}
+
+// lockedLit locks inside the literal itself: fine.
+func (t *table) lockedLit() {
+	go func() {
+		t.mu.Lock()
+		t.hits++
+		t.mu.Unlock()
+	}()
+}
+
+// rwtable exercises RLock and the missing-sibling validation.
+type rwtable struct {
+	mu sync.RWMutex
+	//netsamp:guardedby mu
+	vals []int
+	//netsamp:guardedby lock
+	bad int // want `netsamp:guardedby names lock, which is not a field of this struct`
+}
+
+func (r *rwtable) read(i int) int {
+	r.mu.RLock()
+	v := r.vals[i]
+	r.mu.RUnlock()
+	return v
+}
+
+func (r *rwtable) readBare(i int) int {
+	return r.vals[i] // want `field vals is //netsamp:guardedby mu but accessed without r.mu held`
+}

@@ -36,6 +36,7 @@ type ApproxOptions struct {
 	Initial []float64
 }
 
+//netsamp:noalloc
 func (o ApproxOptions) maxIter() int {
 	if o.MaxIter <= 0 {
 		return 400
@@ -43,6 +44,7 @@ func (o ApproxOptions) maxIter() int {
 	return o.MaxIter
 }
 
+//netsamp:noalloc
 func (o ApproxOptions) gapTol() float64 {
 	if o.GapTol <= 0 {
 		return 1e-3

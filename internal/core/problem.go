@@ -57,6 +57,7 @@ type Problem struct {
 }
 
 // model returns the effective rate model, defaulting to ModelLinear.
+//netsamp:noalloc
 func (p *Problem) model() RateModel {
 	if p.Model == nil {
 		return ModelLinear
@@ -72,9 +73,11 @@ func BudgetPerInterval(theta, intervalSeconds float64) float64 {
 }
 
 // NumLinks returns the size of the candidate monitor set.
+//netsamp:noalloc
 func (p *Problem) NumLinks() int { return len(p.Loads) }
 
 // alpha returns the effective per-link cap for link i.
+//netsamp:noalloc
 func (p *Problem) alpha(i int) float64 {
 	if p.MaxRate == nil {
 		return 1

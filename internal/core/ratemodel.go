@@ -104,8 +104,10 @@ func ModelName(m RateModel) string {
 // ρ_k = Σ f_ki·p_i, constant gradient, zero path curvature.
 type additiveModel struct{}
 
+//netsamp:noalloc
 func (additiveModel) Additive() bool             { return true }
 func (additiveModel) SupportsFracs() bool        { return true }
+//netsamp:noalloc
 func (additiveModel) Deployed(rho float64) float64 { return rho }
 
 //netsamp:noalloc
@@ -210,6 +212,7 @@ type coordinatedModel struct{ additiveModel }
 
 func (coordinatedModel) Name() string { return "coordinated" }
 
+//netsamp:noalloc
 func (coordinatedModel) Deployed(rho float64) float64 {
 	if rho > 1 {
 		return 1
@@ -225,8 +228,10 @@ func (coordinatedModel) Deployed(rho float64) float64 {
 type independentExactModel struct{}
 
 func (independentExactModel) Name() string          { return "independent-exact" }
+//netsamp:noalloc
 func (independentExactModel) Additive() bool        { return false }
 func (independentExactModel) SupportsFracs() bool   { return false }
+//netsamp:noalloc
 func (independentExactModel) Deployed(rho float64) float64 { return rho }
 
 //netsamp:noalloc

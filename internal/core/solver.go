@@ -42,6 +42,7 @@ type Options struct {
 	Initial []float64
 }
 
+//netsamp:noalloc
 func (o Options) maxIter() int {
 	if o.MaxIter <= 0 {
 		return 2000
@@ -49,6 +50,7 @@ func (o Options) maxIter() int {
 	return o.MaxIter
 }
 
+//netsamp:noalloc
 func (o Options) tol() float64 {
 	if o.Tol <= 0 {
 		return 1e-6
@@ -145,6 +147,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 // initialPointInto writes a feasible start into rates (length NumLinks):
 // the caller's point (validated) or the waterfilling point
 // min(α_i, τ/U_i) with τ chosen so the budget holds with equality.
+//netsamp:noalloc
 func initialPointInto(p *Problem, opt Options, rates []float64) error {
 	n := p.NumLinks()
 	if opt.Initial != nil {
@@ -207,6 +210,7 @@ func initialPoint(p *Problem, opt Options) ([]float64, error) {
 // coordinates along the loads vector (the minimum-norm correction),
 // clamping to bounds. lower/upper may be nil, meaning all coordinates
 // are free.
+//netsamp:noalloc
 func fixBudget(p *Problem, rates []float64, lower, upper []bool) {
 	for pass := 0; pass < 4; pass++ {
 		viol := -p.Budget
@@ -244,6 +248,7 @@ func fixBudget(p *Problem, rates []float64, lower, upper []bool) {
 
 // reproject snaps near-bound rates onto their bounds and restores the
 // budget equality.
+//netsamp:noalloc
 func reproject(p *Problem, rates []float64, lower, upper []bool) {
 	for i := range rates {
 		if rates[i] < snapTol {
@@ -257,6 +262,7 @@ func reproject(p *Problem, rates []float64, lower, upper []bool) {
 }
 
 // syncActive refreshes the active-set flags from the current point.
+//netsamp:noalloc
 func syncActive(p *Problem, rates []float64, lower, upper []bool) {
 	for i := range rates {
 		lower[i] = rates[i] <= snapTol
@@ -270,6 +276,7 @@ func syncActive(p *Problem, rates []float64, lower, upper []bool) {
 	}
 }
 
+//netsamp:noalloc
 func activate(p *Problem, rates []float64, i int, lower, upper []bool) {
 	a := p.alpha(i)
 	if math.Abs(rates[i]-a) < math.Abs(rates[i]) {
@@ -281,6 +288,7 @@ func activate(p *Problem, rates []float64, i int, lower, upper []bool) {
 	}
 }
 
+//netsamp:noalloc
 func countFree(lower, upper []bool) int {
 	n := 0
 	for i := range lower {
@@ -294,6 +302,7 @@ func countFree(lower, upper []bool) int {
 // projectionLambda returns the multiplier of the budget hyperplane for
 // the projection of g onto the free subspace: λ = ⟨g,U⟩/⟨U,U⟩ over free
 // coordinates.
+//netsamp:noalloc
 func projectionLambda(p *Problem, g []float64, lower, upper []bool) float64 {
 	num, den := 0.0, 0.0
 	for i := range g {
@@ -313,6 +322,7 @@ func projectionLambda(p *Problem, g []float64, lower, upper []bool) float64 {
 // multipliersOK checks the sign conditions on the bound multipliers at a
 // stationary point of the free subspace: ν_i = λU_i − g_i ≥ 0 for active
 // lower bounds, μ_i = g_i − λU_i ≥ 0 for active upper bounds.
+//netsamp:noalloc
 func multipliersOK(p *Problem, g []float64, lambda float64, lower, upper []bool, tol float64) bool {
 	kappa := tol * (1 + normInf(g))
 	for i := range g {
@@ -329,6 +339,7 @@ func multipliersOK(p *Problem, g []float64, lambda float64, lower, upper []bool,
 // deactivateNegative frees every active bound whose multiplier is
 // negative (the paper's recovery strategy) and returns how many were
 // freed.
+//netsamp:noalloc
 func deactivateNegative(p *Problem, g []float64, lambda float64, lower, upper []bool, tol float64) int {
 	kappa := tol * (1 + normInf(g))
 	removed := 0
@@ -348,6 +359,7 @@ func deactivateNegative(p *Problem, g []float64, lambda float64, lower, upper []
 // bound, so λ is not pinned by stationarity; optimality holds iff the
 // interval [max over upper of g_i/U_i, min over lower of g_i/U_i]
 // is non-empty.
+//netsamp:noalloc
 func vertexKKT(p *Problem, g []float64, lower, upper []bool, tol float64) bool {
 	loLam := math.Inf(-1) // λ ≥ g_i/U_i … from upper bounds
 	hiLam := math.Inf(1)  // λ ≤ g_i/U_i … from lower bounds
@@ -366,6 +378,7 @@ func vertexKKT(p *Problem, g []float64, lower, upper []bool, tol float64) bool {
 
 // deactivateVertex frees the bounds that prevent the λ-interval from
 // being non-empty: the arg-max upper bound and the arg-min lower bound.
+//netsamp:noalloc
 func deactivateVertex(p *Problem, g []float64, lower, upper []bool) {
 	loIdx, hiIdx := -1, -1
 	loLam, hiLam := math.Inf(-1), math.Inf(1)
@@ -390,6 +403,7 @@ func deactivateVertex(p *Problem, g []float64, lower, upper []bool) {
 // coordinate within its bounds, and the index of the first blocking
 // constraint (-1 when unbounded, which cannot happen with finite caps
 // unless s is zero on the free set).
+//netsamp:noalloc
 func maxStep(p *Problem, rates, s []float64, lower, upper []bool) (float64, int) {
 	tMax := math.Inf(1)
 	blocking := -1
@@ -415,6 +429,7 @@ func maxStep(p *Problem, rates, s []float64, lower, upper []bool) (float64, int)
 	return tMax, blocking
 }
 
+//netsamp:noalloc
 func normInf(v []float64) float64 {
 	m := 0.0
 	for _, x := range v {
@@ -425,6 +440,7 @@ func normInf(v []float64) float64 {
 	return m
 }
 
+//netsamp:noalloc
 func dot(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {

@@ -48,6 +48,7 @@ func MustDetection(size int) *Detection {
 }
 
 // Value implements Utility.
+//netsamp:noalloc
 func (u *Detection) Value(rho float64) float64 {
 	if rho <= 0 {
 		return 0
@@ -59,6 +60,7 @@ func (u *Detection) Value(rho float64) float64 {
 }
 
 // Deriv implements Utility.
+//netsamp:noalloc
 func (u *Detection) Deriv(rho float64) float64 {
 	if rho < 0 {
 		rho = 0
@@ -71,6 +73,7 @@ func (u *Detection) Deriv(rho float64) float64 {
 }
 
 // Curv implements Utility.
+//netsamp:noalloc
 func (u *Detection) Curv(rho float64) float64 {
 	if rho < 0 {
 		rho = 0
@@ -126,6 +129,7 @@ func MustLogCoverage(c float64) *LogCoverage {
 }
 
 // Value implements Utility.
+//netsamp:noalloc
 func (u *LogCoverage) Value(rho float64) float64 {
 	if rho <= 0 {
 		return 0
@@ -134,6 +138,7 @@ func (u *LogCoverage) Value(rho float64) float64 {
 }
 
 // Deriv implements Utility.
+//netsamp:noalloc
 func (u *LogCoverage) Deriv(rho float64) float64 {
 	if rho < 0 {
 		rho = 0
@@ -142,6 +147,7 @@ func (u *LogCoverage) Deriv(rho float64) float64 {
 }
 
 // Curv implements Utility.
+//netsamp:noalloc
 func (u *LogCoverage) Curv(rho float64) float64 {
 	if rho < 0 {
 		rho = 0

@@ -93,6 +93,7 @@ func MustSRE(c float64) *SRE {
 }
 
 // analytic is A(ρ) = 1 − c(1−ρ)/ρ, the accuracy branch used for ρ ≥ x₀.
+//netsamp:noalloc
 func (u *SRE) analytic(rho float64) float64 {
 	return 1 + u.C - u.C/rho
 }
@@ -100,6 +101,7 @@ func (u *SRE) analytic(rho float64) float64 {
 // Value implements Utility. For ρ beyond 1 (possible transiently under
 // the linear effective-rate approximation) the analytic branch is simply
 // continued; it remains increasing and concave there.
+//netsamp:noalloc
 func (u *SRE) Value(rho float64) float64 {
 	if rho <= 0 {
 		return 0
@@ -112,6 +114,7 @@ func (u *SRE) Value(rho float64) float64 {
 }
 
 // Deriv implements Utility.
+//netsamp:noalloc
 func (u *SRE) Deriv(rho float64) float64 {
 	if rho >= u.X0 {
 		return u.C / (rho * rho)
@@ -123,6 +126,7 @@ func (u *SRE) Deriv(rho float64) float64 {
 }
 
 // Curv implements Utility.
+//netsamp:noalloc
 func (u *SRE) Curv(rho float64) float64 {
 	if rho >= u.X0 {
 		return -2 * u.C / (rho * rho * rho)

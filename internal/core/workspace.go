@@ -766,9 +766,10 @@ func (s *Solver) finishInto(sol *Solution, rates, g []float64, stats Stats, conv
 
 // resizeFloats returns a slice of length n, reusing buf's storage when
 // its capacity suffices.
+//netsamp:noalloc
 func resizeFloats(buf []float64, n int) []float64 {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
-	return make([]float64, n)
+	return make([]float64, n) //netsamp:alloc-ok grow-only scratch, amortized to zero across solves
 }

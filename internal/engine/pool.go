@@ -99,12 +99,12 @@ func (p *Pool) For(n int, fn func(int)) {
 	p.fn = fn
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
-		p.jobs <- i
+		p.jobs <- i //netsamp:ctx-ok workers drain jobs until Close; receiver lifetime equals pool lifetime
 	}
 	p.wg.Wait()
 	p.fn = nil
 	if p.panicVal != nil {
-		p.rethrow()
+		p.rethrow() //netsamp:allocflow-ok deliberate: wrapping a worker panic allocates only after the solve is dead
 	}
 }
 

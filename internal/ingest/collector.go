@@ -194,6 +194,9 @@ func (c *Collector) Snapshot() View {
 	for _, s := range c.shards {
 		s.mu.Lock()
 		v.Shards = append(v.Shards, s.stats)
+		// Stalled lives in the watchdog's lock-free mirror, not under
+		// mu; fold it into the copy the caller sees.
+		v.Shards[len(v.Shards)-1].Stalled = s.stalled.Load()
 		for id, e := range s.exps {
 			byID[id] = ExporterView{
 				ID:        id,
@@ -265,10 +268,10 @@ func (c *Collector) Listen(addr string) error {
 	c.live.Store(true)
 
 	c.wg.Add(1)
-	go c.pump()
+	go c.pump() //netsamp:ctx-ok Close() closes the UDP socket, which unblocks the read loop
 	for _, s := range c.shards {
 		c.wg.Add(1)
-		go c.superviseShard(s)
+		go c.superviseShard(s) //netsamp:ctx-ok runLive selects on c.stop; the supervisor returns when it closes
 	}
 	c.wg.Add(2)
 	go c.mergeLoop()
@@ -318,6 +321,7 @@ func (c *Collector) superviseShard(s *shard) {
 		s.mu.Lock()
 		s.stats.GaveUp = true
 		s.mu.Unlock()
+		s.gaveUp.Store(true)
 		c.cfg.logf("ingest: shard %d worker gave up: %v", s.idx, err)
 	}
 }
@@ -344,6 +348,11 @@ func (c *Collector) mergeLoop() {
 // preempted in-process, so the watchdog's job is to make the wedge
 // loudly visible (Stalled flag + log) while the bounded ring and the
 // pump's drop accounting keep the rest of the tier healthy.
+//
+// The loop is deliberately lock-free: it reads the shard's atomic
+// progress counter and the SPSC ring's cursors, never s.mu. A worker
+// that wedges while holding s.mu — the nastiest stall there is — would
+// otherwise wedge the watchdog on the same lock and go unreported.
 func (c *Collector) watchdogLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.watchdogEvery())
@@ -356,24 +365,22 @@ func (c *Collector) watchdogLoop() {
 			return
 		case <-t.C:
 			for i, s := range c.shards {
-				s.mu.Lock()
-				consumed := s.stats.Delivered + s.stats.Dropped.Total()
-				queued := s.stats.Queued
-				if queued > 0 && consumed == lastConsumed[i] && !s.stats.GaveUp {
+				consumed := atomic.LoadUint64(&s.progress)
+				queued := s.ring.length()
+				if queued > 0 && consumed == lastConsumed[i] && !s.gaveUp.Load() {
 					stuck[i]++
-					if stuck[i] >= 3 && !s.stats.Stalled {
-						s.stats.Stalled = true
-						c.cfg.logf("ingest: shard %d stalled: %d records queued, no progress for %d checks", i, queued, stuck[i])
+					if stuck[i] >= 3 && !s.stalled.Load() {
+						s.stalled.Store(true)
+						c.cfg.logf("ingest: shard %d stalled: %d datagrams queued, no progress for %d checks", i, queued, stuck[i])
 					}
 				} else {
 					stuck[i] = 0
-					if s.stats.Stalled && consumed != lastConsumed[i] {
-						s.stats.Stalled = false
+					if s.stalled.Load() && consumed != lastConsumed[i] {
+						s.stalled.Store(false)
 						c.cfg.logf("ingest: shard %d recovered", i)
 					}
 				}
 				lastConsumed[i] = consumed
-				s.mu.Unlock()
 			}
 		}
 	}

@@ -2,7 +2,9 @@ package ingest
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -511,3 +513,119 @@ func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestWatchdogDetectsWorkerWedgedHoldingLock pins the watchdog's
+// lock-free contract: a worker wedged inside its critical section —
+// holding s.mu — must still be flagged Stalled. The wedge is a
+// classifier that blocks, which runs under the shard lock inside
+// accumulate; the watchdog reads the shard's atomic progress counter
+// and the ring cursors instead of taking s.mu, so it keeps ticking. An
+// implementation that locked per shard would deadlock against exactly
+// this wedge and never report it.
+func TestWatchdogDetectsWorkerWedgedHoldingLock(t *testing.T) {
+	var logMu sync.Mutex
+	var logs []string
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg := testConfig(1)
+	cfg.WatchdogEvery = 5 * time.Millisecond
+	cfg.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	cfg.Classifier = func(key packet.FiveTuple) (int, bool) {
+		if key.SrcPort == 9999 {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+		return 0, true
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := netflow.NewExporter(c.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedgeRecs := []packet.Record{{
+		Key:     packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 9999, Proto: packet.ProtoTCP},
+		Packets: 1, Start: 500, End: 501,
+	}}
+	// Resend until the classifier confirms the wedge is in place (UDP
+	// may drop the first datagram on a busy loopback).
+	wedged := false
+	for range 200 {
+		if err := exp.Export(wedgeRecs); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-entered:
+			wedged = true
+		case <-time.After(25 * time.Millisecond):
+		}
+		if wedged {
+			break
+		}
+	}
+	if !wedged {
+		t.Fatal("worker never reached the blocking classifier")
+	}
+
+	// The worker now sits inside accumulate holding s.mu, its datagram
+	// un-advanced in the ring: queued work, zero progress. The
+	// watchdog must flag it without touching the lock.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s0(c).stalled.Load() {
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("watchdog never flagged the wedged shard")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Released: the worker drains, progress resumes, the flag clears.
+	close(release)
+	deadline = time.Now().Add(5 * time.Second)
+	for s0(c).stalled.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never cleared the stall after recovery")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.Snapshot()
+	if err := v.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Shards[0].Stalled {
+		t.Fatal("stall flag must be clear in the final snapshot")
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	var sawStall, sawRecover bool
+	for _, l := range logs {
+		if strings.Contains(l, "stalled") {
+			sawStall = true
+		}
+		if strings.Contains(l, "recovered") {
+			sawRecover = true
+		}
+	}
+	if !sawStall || !sawRecover {
+		t.Fatalf("expected stall and recovery log lines, got %q", logs)
+	}
+}
+
+// s0 returns the first shard (test shorthand).
+func s0(c *Collector) *shard { return c.shards[0] }

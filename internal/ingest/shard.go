@@ -3,6 +3,7 @@ package ingest
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netsamp/internal/netflow"
@@ -25,9 +26,25 @@ type expEntry struct {
 // bins live behind mu; the decode scratch buffers are worker-owned and
 // never locked.
 type shard struct {
+	// progress counts records consumed (delivered or dropped) since
+	// start. Every consumption site advances it with atomic.AddUint64;
+	// the watchdog compares successive atomic.LoadUint64 snapshots
+	// WITHOUT taking mu, so a worker wedged while holding mu cannot
+	// also wedge the watchdog that exists to flag it. First in the
+	// struct: 64-bit atomics require 8-byte alignment, which first
+	// position guarantees even under 32-bit struct layout.
+	progress uint64
+
 	idx  int
 	cfg  *Config
 	ring *ring
+
+	// stalled and gaveUp are the watchdog's lock-free view of the
+	// corresponding reported flags: the watchdog reads and writes them
+	// without mu, Snapshot folds stalled into the stats copy it takes,
+	// and the supervisor mirrors GaveUp into gaveUp when it gives up.
+	stalled atomic.Bool
+	gaveUp  atomic.Bool
 	// wake nudges a parked live worker after a push (capacity 1,
 	// non-blocking send; a short backstop timer covers the lost-wakeup
 	// window).
@@ -53,12 +70,12 @@ type shard struct {
 	attempts uint64
 
 	mu    sync.Mutex
-	stats ShardStats
-	exps  map[uint32]*expEntry
-	bins  map[uint32][]uint64 // pending per-OD counts since the last merge
-	free  [][]uint64          // recycled count slices (bounded by live bin count)
-	keys  []uint32            // merge-order scratch, recycled so the merge is allocation-free
-	lat   latHist
+	stats ShardStats           //netsamp:guardedby mu
+	exps  map[uint32]*expEntry //netsamp:guardedby mu
+	bins  map[uint32][]uint64  //netsamp:guardedby mu pending per-OD counts since the last merge
+	free  [][]uint64           //netsamp:guardedby mu recycled count slices (bounded by live bin count)
+	keys  []uint32             //netsamp:guardedby mu merge-order scratch, recycled so the merge is allocation-free
+	lat   latHist              //netsamp:guardedby mu
 }
 
 func newShard(idx int, cfg *Config) *shard {
@@ -170,19 +187,20 @@ func (s *shard) decodeSlot(b []byte) (int, bool) {
 // background traffic outside the measurement task, not loss.
 //
 //netsamp:noalloc
+//netsamp:holds mu processSlot locks before folding the decoded batch
 func (s *shard) accumulate(recs []packet.Record) {
 	if s.classify == nil || s.numOD == 0 || s.interval == 0 {
 		return
 	}
 	for i := range recs {
-		od, ok := s.classify(recs[i].Key)
+		od, ok := s.classify(recs[i].Key) //netsamp:allocflow-ok classifier installed at config time is a pure index lookup
 		if !ok || od < 0 || od >= s.numOD {
 			continue
 		}
 		bin := recs[i].Start - recs[i].Start%s.interval
 		counts := s.bins[bin]
 		if counts == nil {
-			counts = s.newBinLocked(bin)
+			counts = s.newBinLocked(bin) //netsamp:allocflow-ok cold: one slice per new interval bin, amortized over the interval
 		}
 		counts[od] += recs[i].Packets
 	}
@@ -238,6 +256,7 @@ func (s *shard) consumeSlot(sl *slot, locked bool, nowNanos int64) int {
 		s.stats.Dropped.Malformed += count
 		e.dropped += count
 	}
+	atomic.AddUint64(&s.progress, count)
 	s.inflight.active = false
 	if sl.stamp != 0 && nowNanos != 0 {
 		s.lat.add(nowNanos - sl.stamp)
@@ -304,6 +323,7 @@ func (s *shard) noteAttempt() {
 		e.queued -= count
 		s.stats.Dropped.Poisoned += count
 		e.dropped += count
+		atomic.AddUint64(&s.progress, count)
 		s.inflight.active = false
 		s.mu.Unlock()
 		s.ring.advance()

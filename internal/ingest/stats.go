@@ -62,8 +62,11 @@ type ShardStats struct {
 	// a panic; stats survive the restart.
 	Restarts uint64
 	// Stalled is set by the watchdog: queued work but no consumption
-	// progress across consecutive checks. GaveUp means the supervisor
-	// exhausted MaxRestarts; the pump keeps accounting drops.
+	// progress across consecutive checks. It is tracked lock-free on
+	// the shard (the watchdog never takes the shard lock, so a worker
+	// wedged holding it is still detected) and folded into Snapshot's
+	// copy. GaveUp means the supervisor exhausted MaxRestarts; the
+	// pump keeps accounting drops.
 	Stalled bool
 	GaveUp  bool
 }

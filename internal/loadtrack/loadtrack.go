@@ -143,6 +143,7 @@ func MustNew(n int, cfg Config) *Tracker {
 }
 
 // Len returns the number of tracked links.
+//netsamp:noalloc
 func (t *Tracker) Len() int { return len(t.mean) }
 
 // Config returns the validated configuration (defaults filled in).
@@ -243,6 +244,7 @@ func (t *Tracker) Age(i int) int { return int(t.age[i]) }
 // estimate widened by BoundSigma relative standard errors, with the
 // lower edge floored at a small positive fraction of the estimate so a
 // robust solve always sees usable loads.
+//netsamp:noalloc
 func (t *Tracker) Bounds(i int) (lo, hi float64) {
 	m := t.mean[i]
 	w := t.cfg.BoundSigma * t.rel[i]

@@ -44,14 +44,14 @@ type Exporter struct {
 	retry      RetryPolicy
 
 	mu      sync.Mutex
-	conn    net.Conn
-	seq     uint32 // records exported before the next datagram
-	batch   []packet.Record
-	buf     []byte
-	sent    uint64
-	dropped uint64
-	retries uint64
-	closed  bool
+	conn    net.Conn        //netsamp:guardedby mu
+	seq     uint32          //netsamp:guardedby mu records exported before the next datagram
+	batch   []packet.Record //netsamp:guardedby mu
+	buf     []byte          //netsamp:guardedby mu
+	sent    uint64          //netsamp:guardedby mu
+	dropped uint64          //netsamp:guardedby mu
+	retries uint64          //netsamp:guardedby mu
+	closed  bool            //netsamp:guardedby mu
 }
 
 // NewExporter dials the collector at addr (e.g. "127.0.0.1:9995") and
@@ -120,6 +120,8 @@ func (e *Exporter) Flush() error {
 // errors per the policy. Whatever the outcome, the flow sequence
 // advances by the record count: a dropped datagram becomes a sequence
 // gap the collector will observe and account.
+//
+//netsamp:holds mu callers flush and Close enter with e.mu held
 func (e *Exporter) sendLocked(recs []packet.Record) error {
 	h := packet.Header{Count: uint8(len(recs)), Seq: e.seq, Exporter: e.exporterID}
 	e.buf = h.AppendTo(e.buf[:0])
@@ -327,8 +329,8 @@ type Collector struct {
 	closeOnce sync.Once
 
 	mu    sync.Mutex
-	stats CollectorStats
-	exps  map[uint32]*SeqTracker
+	stats CollectorStats         //netsamp:guardedby mu
+	exps  map[uint32]*SeqTracker //netsamp:guardedby mu
 	wg    sync.WaitGroup
 }
 
@@ -503,6 +505,8 @@ func (c *Collector) decode(b []byte) (Batch, bool) {
 
 // account updates the per-exporter flow-sequence bookkeeping for one
 // accepted datagram and folds the movement into the aggregate counters.
+//
+//netsamp:holds mu called from the decode path, which locks around the whole datagram
 func (c *Collector) account(h packet.Header) {
 	es := c.exps[h.Exporter]
 	if es == nil {

@@ -60,9 +60,9 @@ type FlowTable struct {
 	cfg       Config
 
 	mu      sync.Mutex
-	rng     *rng.Source
-	entries map[packet.FiveTuple]*packet.Record
-	stats   TableStats
+	rng     *rng.Source                        //netsamp:guardedby mu sampling decisions must be serialized for replay determinism
+	entries map[packet.FiveTuple]*packet.Record //netsamp:guardedby mu
+	stats   TableStats                         //netsamp:guardedby mu
 }
 
 // NewFlowTable returns a flow table for the given monitor. src drives
@@ -125,6 +125,8 @@ func (ft *FlowTable) Observe(key packet.FiveTuple, bytes uint32, now uint32) (sa
 // start time, ties broken by the flow-key total order so the victim is
 // independent of map iteration order. Caller holds the lock and has
 // checked the table is non-empty.
+//
+//netsamp:holds mu
 func (ft *FlowTable) evictOldestLocked() packet.Record {
 	var oldestKey packet.FiveTuple
 	var oldest *packet.Record

@@ -71,13 +71,14 @@ func (t FiveTuple) Less(o FiveTuple) bool {
 // FastHash returns a 64-bit FNV-1a hash of the tuple, suitable for
 // sharding flows across workers. It is not symmetric: use SymHash to
 // co-locate the two directions of a flow.
+//netsamp:noalloc
 func (t FiveTuple) FastHash() uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	mix := func(v uint64, bytes int) {
+	mix := func(v uint64, bytes int) { //netsamp:alloc-ok non-escaping closure over a stack local; inlined, no heap
 		for i := 0; i < bytes; i++ {
 			h ^= v & 0xff
 			h *= prime
@@ -154,6 +155,7 @@ func (r *Record) AppendTo(b []byte) []byte {
 // DecodeFromBytes parses one record from the front of b into r without
 // allocating. It returns ErrShortBuffer if b holds fewer than RecordSize
 // bytes and ErrBadVersion on a version mismatch.
+//netsamp:noalloc
 func (r *Record) DecodeFromBytes(b []byte) error {
 	if len(b) < RecordSize {
 		return ErrShortBuffer
